@@ -1,0 +1,111 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Two ingredients of GI are switchable in our implementation:
+
+* **n-ary applications** (Section 2.1/3.2): with ``nary_apps=False``
+  every application is typed one argument at a time, so guardedness can
+  only be justified by a single argument;
+* **rule VarGen** (Section 3.3 / Figure 5): with ``use_vargen=False``
+  bare-variable arguments are typed like any other expression, losing
+  ``choose [] ids``-style impredicative pre-instantiation.
+
+The bench regenerates the Figure 2 GI column under each configuration and
+reports which examples each ingredient buys; written to
+``results/ablation.txt``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import Inferencer, InferOptions
+from repro.evalsuite.figure2 import FIGURE2, figure2_env
+from repro.evalsuite.report import mark, render_table
+
+ENV = figure2_env()
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+CONFIGS = {
+    "full": InferOptions(),
+    "no-vargen": InferOptions(use_vargen=False),
+    "binary-apps": InferOptions(nary_apps=False),
+    "neither": InferOptions(use_vargen=False, nary_apps=False),
+}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    results = {}
+    for name, options in CONFIGS.items():
+        gi = Inferencer(ENV, options=options)
+        results[name] = {ex.key: gi.accepts(ex.term) for ex in FIGURE2}
+    return results
+
+
+def test_regenerate_ablation_table(matrix, benchmark):
+    gi = Inferencer(ENV, options=CONFIGS["full"])
+    benchmark(lambda: [gi.accepts(ex.term) for ex in FIGURE2])
+    headers = ["id", "example", "paper"] + list(CONFIGS)
+    rows = []
+    for ex in FIGURE2:
+        rows.append(
+            [ex.key, ex.source[:30], mark(ex.expected["GI"])]
+            + [mark(matrix[name][ex.key]) for name in CONFIGS]
+        )
+    accepted = {name: sum(matrix[name].values()) for name in CONFIGS}
+    footer = "accepted: " + "  ".join(f"{k}={v}" for k, v in accepted.items())
+    table = render_table(
+        headers, rows, title="Ablation — Figure 2 GI column per configuration"
+    )
+    print()
+    print(table)
+    print(footer)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation.txt").write_text(table + "\n" + footer + "\n", encoding="utf-8")
+
+
+def test_full_configuration_dominates(matrix, benchmark):
+    """Removing an ingredient never *gains* an example."""
+    gi = Inferencer(ENV, options=CONFIGS["neither"])
+    benchmark(lambda: [gi.accepts(ex.term) for ex in FIGURE2])
+    for name in ("no-vargen", "binary-apps", "neither"):
+        for ex in FIGURE2:
+            if matrix[name][ex.key]:
+                assert matrix["full"][ex.key], (name, ex.key)
+
+
+def test_vargen_buys_star_examples(matrix, benchmark):
+    """VarGen is what accepts choose [] ids (A3) and map head (single
+    ids) (C10)."""
+    gi = Inferencer(ENV, options=CONFIGS["no-vargen"])
+    benchmark(lambda: [gi.accepts(ex.term) for ex in FIGURE2])
+    assert matrix["full"]["A3"] and not matrix["no-vargen"]["A3"]
+    assert matrix["full"]["C10"] and not matrix["no-vargen"]["C10"]
+
+
+def test_nary_buys_multi_argument_guardedness(matrix, benchmark):
+    """The n-ary treatment is what accepts id : ids (C5)."""
+    gi = Inferencer(ENV, options=CONFIGS["binary-apps"])
+    benchmark(lambda: [gi.accepts(ex.term) for ex in FIGURE2])
+    assert matrix["full"]["C5"] and not matrix["binary-apps"]["C5"]
+
+
+def test_hm_fragment_unaffected(matrix, benchmark):
+    """The ablations only affect impredicative examples; the predicative
+    rows (A1, A2, C4, C7) survive every configuration."""
+    gi = Inferencer(ENV)
+    rows = [ex for ex in FIGURE2 if ex.key in ("A1", "A2", "C4", "C7")]
+    benchmark(lambda: [gi.accepts(ex.term) for ex in rows])
+    for name in CONFIGS:
+        for key in ("A1", "A2", "C4", "C7"):
+            assert matrix[name][key], (name, key)
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+def test_bench_ablation_configs(benchmark, config_name):
+    gi = Inferencer(ENV, options=CONFIGS[config_name])
+
+    def run_corpus():
+        return sum(1 for ex in FIGURE2 if gi.accepts(ex.term))
+
+    benchmark(run_corpus)

@@ -1,0 +1,99 @@
+"""Scaling benchmarks: inference time vs program size.
+
+Not a table in the paper — the paper's implementation claim is that GI
+"easily integrates in a pre-existing constraint-based type inference
+engine" with modest overhead; these benches quantify our implementation's
+scaling on five workload shapes, including a pipeline that performs an
+impredicative instantiation at every step.
+"""
+
+import pytest
+
+from repro.core import Inferencer
+from repro.evalsuite.figure2 import figure2_env
+from repro.evalsuite.workloads import (
+    application_chain,
+    impredicative_pipeline,
+    lambda_tower,
+    let_chain,
+    mixed_program,
+    wide_application,
+)
+
+ENV = figure2_env()
+SIZES = [8, 32, 128]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_application_chain(benchmark, size):
+    term = application_chain(size)
+    gi = Inferencer(ENV)
+    result = benchmark(lambda: gi.infer(term).type_)
+    assert str(result) == "Int"
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_let_chain(benchmark, size):
+    term = let_chain(size)
+    gi = Inferencer(ENV)
+    result = benchmark(lambda: gi.infer(term).type_)
+    assert str(result) == "Int"
+
+
+@pytest.mark.parametrize("size", [8, 32])
+def test_bench_lambda_tower(benchmark, size):
+    term = lambda_tower(size)
+    gi = Inferencer(ENV)
+    result = benchmark(lambda: gi.infer(term).type_)
+    assert str(result) == "Int"
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_impredicative_pipeline(benchmark, size):
+    term = impredicative_pipeline(size)
+    gi = Inferencer(ENV)
+    result = benchmark(lambda: gi.infer(term).type_)
+    assert str(result) == "[forall a. a -> a]"
+
+
+@pytest.mark.parametrize("size", [8, 32])
+def test_bench_wide_application(benchmark, size):
+    term = wide_application(size)
+    gi = Inferencer(ENV)
+    benchmark(lambda: gi.infer(term).type_)
+
+
+@pytest.mark.parametrize("size", [10, 40])
+def test_bench_mixed_program(benchmark, size):
+    term = mixed_program(size, seed=size)
+    gi = Inferencer(ENV)
+    benchmark(lambda: gi.infer(term).type_)
+
+
+def test_scaling_is_roughly_linear(benchmark):
+    """Sanity: doubling the impredicative pipeline roughly doubles the
+    constraint count (no accidental quadratic blow-up in generation)."""
+    gi = Inferencer(ENV)
+    benchmark(lambda: gi.infer(impredicative_pipeline(16)).type_)
+    from repro.core.generate import Generator
+
+    def constraints_for(size: int) -> int:
+        generator = Generator()
+        _, constraints = generator.gen(ENV, impredicative_pipeline(size))
+
+        def count(cs) -> int:
+            from repro.core.constraints import Gen, Quant
+
+            total = 0
+            for c in cs:
+                total += 1
+                if isinstance(c, Gen):
+                    total += count(c.scheme.constraints)
+                elif isinstance(c, Quant):
+                    total += count(c.wanteds)
+            return total
+
+        return count(constraints)
+
+    small, large = constraints_for(16), constraints_for(32)
+    assert large <= 2.5 * small

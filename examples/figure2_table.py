@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 2 of the paper at the terminal.
+
+Measured columns (marked *) come from the systems implemented in this
+repository; MLF/FPH/HML columns are the paper's reference data.
+
+Run:  python examples/figure2_table.py [--types]
+
+With ``--types`` the table also prints the type GI infers for each
+accepted example, against the type the paper states where available.
+"""
+
+import sys
+
+from repro.baselines import SYSTEMS
+from repro.core import Inferencer
+from repro.core.errors import GIError
+from repro.evalsuite.figure2 import FIGURE2, figure2_env
+from repro.evalsuite.report import mark, render_table
+
+
+def main(show_types: bool = False) -> None:
+    env = figure2_env()
+    measured = {
+        name: {ex.key: SYSTEMS[name].accepts(ex.term, env) for ex in FIGURE2}
+        for name in ("GI", "HMF", "HMF-N", "HM", "RankN")
+    }
+
+    headers = ["id", "example", "GI*", "HMF*", "HMF-N*", "HM*", "RankN*",
+               "| GI", "MLF", "HMF", "FPH", "HML"]
+    rows = []
+    for ex in FIGURE2:
+        rows.append(
+            [ex.key, ex.source[:34]]
+            + [mark(measured[name][ex.key]) for name in ("GI", "HMF", "HMF-N", "HM", "RankN")]
+            + ["| " + mark(ex.expected["GI"])]
+            + [mark(ex.expected[name]) for name in ("MLF", "HMF", "FPH", "HML")]
+        )
+    print(render_table(headers, rows,
+                       title="Figure 2 — measured (*) vs paper (right of |)"))
+
+    agreements = sum(
+        1 for ex in FIGURE2 if measured["GI"][ex.key] == ex.expected["GI"]
+    )
+    print(f"\nGI agreement with the paper: {agreements}/{len(FIGURE2)}")
+
+    if show_types:
+        print("\nInferred types (GI):")
+        gi = Inferencer(env)
+        for ex in FIGURE2:
+            try:
+                inferred = str(gi.infer(ex.term).type_)
+            except GIError:
+                inferred = "(rejected)"
+            stated = ex.gi_type or ""
+            suffix = f"   [paper: {stated}]" if stated else ""
+            print(f"  {ex.key:4s} {ex.source[:32]:34s} : {inferred}{suffix}")
+
+
+if __name__ == "__main__":
+    main(show_types="--types" in sys.argv)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The lens motivation from Section 2.4.
+
+Haskell's lens library defines
+
+    type Lens s t a b = forall f. Functor f => (a -> f b) -> s -> f t
+
+and "programmers think of a lens as a first-class value, and are perplexed
+when they cannot put a lens into a list or other data structure."  This
+example builds a miniature van-Laarhoven-style lens vocabulary in the GI
+surface language and shows that, with guarded impredicativity, lenses go
+into lists, get picked back out, and compose — no annotations at the use
+sites.
+
+(We use the Identity-functor specialisation ``(a -> a) -> s -> s`` — a
+*setter* — so the example stays inside the class-free core language; the
+quantifier structure that defeats predicative systems is the same.)
+
+Run:  python examples/lens_library.py
+"""
+
+from repro import Inferencer
+from repro.core.errors import GIError
+from repro.baselines import RankNInferencer
+from repro.evalsuite.figure2 import figure2_env
+from repro.syntax import parse_term, parse_type
+
+
+def lens_env():
+    """A pair 'record' with two setter lenses."""
+    env = figure2_env()
+    # Setter s a = (a -> a) -> s -> s;  here s = (Int, Bool).
+    return env.extended_many(
+        {
+            # _1 modifies the first component, _2 the second.
+            "_1": parse_type("(Int -> Int) -> (Int, Bool) -> (Int, Bool)"),
+            "_2": parse_type("(Bool -> Bool) -> (Int, Bool) -> (Int, Bool)"),
+            # A *polymorphic* setter that works on any structure whose
+            # update function is the identity family — the shape that
+            # needs impredicativity once stored in a container:
+            "idLens": parse_type("forall s. (s -> s) -> s -> s"),
+            "over": parse_type(
+                "forall s. ((s -> s) -> s -> s) -> (s -> s) -> s -> s"
+            ),
+            "point": parse_type("(Int, Bool)"),
+        }
+    )
+
+
+def main() -> None:
+    env = lens_env()
+    gi = Inferencer(env)
+    rankn = RankNInferencer(env)
+
+    print("=== first-class lenses under guarded impredicativity ===\n")
+
+    programs = [
+        # A lens used directly — fine in any higher-rank system:
+        ("over idLens inc 3", "direct use"),
+        # A *list of lenses* — the perplexing case: requires the list
+        # element type to be the polymorphic lens type:
+        ("idLens : [idLens]", "a list of polymorphic lenses"),
+        ("(single idLens :: [forall s. (s -> s) -> s -> s])",
+         "storing a lens with an annotation"),
+        # Taking the lens back out of the list and using it at two
+        # different structures:
+        ("let lenses = idLens : [idLens] in over (head lenses) inc 3",
+         "retrieve from the list, use at Int"),
+        # The decisive case: the list of lenses crosses a function
+        # boundary, so its element type must *be* the polymorphic lens
+        # type — predicative systems reject this even with the
+        # annotation, because head must instantiate p := ∀s. (s→s)→s→s.
+        (r"\(ls :: [forall s. (s -> s) -> s -> s]) -> "
+         r"pair (over (head ls) inc 3) (over (head ls) not True)",
+         "a lens list crossing a lambda: needs impredicativity"),
+    ]
+
+    for source, label in programs:
+        print(f"  -- {label}")
+        print(f"  {source}")
+        try:
+            result = gi.infer(parse_term(source))
+            print(f"    GI    : {result.type_}")
+        except GIError as error:
+            print(f"    GI    rejected: {str(error)[:80]}")
+        try:
+            rankn_type = rankn.infer(parse_term(source))
+            print(f"    RankN : {rankn_type}")
+        except GIError:
+            print("    RankN rejected (predicative systems cannot store "
+                  "lenses in lists)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Editable installs on offline machines without the `wheel` package need
+the legacy setup.py path; all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

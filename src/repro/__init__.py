@@ -1,0 +1,34 @@
+"""guarded-impredicativity: a reproduction of *Guarded Impredicative
+Polymorphism* (Serrano, Hage, Vytiniotis, Peyton Jones — PLDI 2018).
+
+Public API highlights:
+
+* :func:`repro.infer` / :class:`repro.Inferencer` — GI type inference;
+* :mod:`repro.syntax` — parser and pretty printer for the surface language;
+* :mod:`repro.systemf` — System F target language and elaboration;
+* :mod:`repro.baselines` — Algorithm W and HMF baselines;
+* :mod:`repro.evalsuite` — the paper's evaluation (Figure 2, Section 5).
+"""
+
+from repro.core import (
+    Environment,
+    GIError,
+    InferenceResult,
+    Inferencer,
+    InferOptions,
+    TypeError_,
+    infer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Environment",
+    "GIError",
+    "InferOptions",
+    "InferenceResult",
+    "Inferencer",
+    "TypeError_",
+    "infer",
+    "__version__",
+]

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro infer "head ids"          # infer a type
+    python -m repro check "single id" "[Int -> Int]"
+    python -m repro run "runST $ argST"       # evaluate
+    python -m repro elaborate "id : ids"      # show the System F witness
+    python -m repro figure2                   # regenerate the table
+    python -m repro repl                      # interactive loop
+
+All commands use the Figure 1 prelude environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import Inferencer
+from repro.core.errors import GIError
+from repro.core.terms import Ann
+from repro.interp import run as interp_run
+from repro.syntax import parse_term, parse_type
+from repro.evalsuite.figure2 import figure2_env
+
+
+def _inferencer() -> Inferencer:
+    return Inferencer(figure2_env())
+
+
+def cmd_infer(source: str) -> int:
+    try:
+        result = _inferencer().infer(parse_term(source))
+    except GIError as error:
+        print(f"type error: {error}", file=sys.stderr)
+        return 1
+    print(result.type_)
+    return 0
+
+
+def cmd_check(source: str, signature: str) -> int:
+    try:
+        term = Ann(parse_term(source), parse_type(signature))
+        _inferencer().infer(term)
+    except GIError as error:
+        print(f"type error: {error}", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+def cmd_run(source: str) -> int:
+    try:
+        term = parse_term(source)
+        _inferencer().infer(term)  # type before running
+        value = interp_run(term)
+    except GIError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(value)
+    return 0
+
+
+def cmd_elaborate(source: str) -> int:
+    from repro.systemf import elaborate_result, pretty_fterm, typecheck
+
+    try:
+        result = _inferencer().infer(parse_term(source))
+        fterm = elaborate_result(result)
+        ftype = typecheck(fterm, figure2_env())
+    except GIError as error:
+        print(f"type error: {error}", file=sys.stderr)
+        return 1
+    print(f"term : {pretty_fterm(fterm)}")
+    print(f"type : {ftype}")
+    return 0
+
+
+def cmd_repl() -> int:
+    gi = _inferencer()
+    print("guarded-impredicativity repl — :q to quit, :r <e> to run")
+    while True:
+        try:
+            line = input("gi> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line in (":q", ":quit"):
+            return 0
+        try:
+            if line.startswith(":r "):
+                term = parse_term(line[3:])
+                gi.infer(term)
+                print(interp_run(term))
+            else:
+                print(gi.infer(parse_term(line)).type_)
+        except GIError as error:
+            print(f"error: {error}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_infer = sub.add_parser("infer", help="infer the principal type")
+    p_infer.add_argument("expr")
+    p_check = sub.add_parser("check", help="check against a signature")
+    p_check.add_argument("expr")
+    p_check.add_argument("signature")
+    p_run = sub.add_parser("run", help="type-check then evaluate")
+    p_run.add_argument("expr")
+    p_elab = sub.add_parser("elaborate", help="show the System F witness")
+    p_elab.add_argument("expr")
+    sub.add_parser("figure2", help="regenerate Figure 2")
+    sub.add_parser("repl", help="interactive loop")
+
+    arguments = parser.parse_args(argv)
+    if arguments.command == "infer":
+        return cmd_infer(arguments.expr)
+    if arguments.command == "check":
+        return cmd_check(arguments.expr, arguments.signature)
+    if arguments.command == "run":
+        return cmd_run(arguments.expr)
+    if arguments.command == "elaborate":
+        return cmd_elaborate(arguments.expr)
+    if arguments.command == "figure2":
+        import runpy
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parents[2] / "examples" / "figure2_table.py"
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    if arguments.command == "repl":
+        return cmd_repl()
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Executable baseline type systems for the Figure 2 comparison."""
+
+from repro.baselines.hm import HMError, HMInferencer, hm_infer
+from repro.baselines.hmf import HMFError, HMFInferencer, hmf_infer
+from repro.baselines.rankn import RankNError, RankNInferencer, rankn_infer
+from repro.baselines.registry import SYSTEMS, System, get_system
+
+__all__ = [
+    "HMError", "HMInferencer", "hm_infer",
+    "HMFError", "HMFInferencer", "hmf_infer",
+    "RankNError", "RankNInferencer", "rankn_infer",
+    "SYSTEMS", "System", "get_system",
+]

@@ -1,0 +1,256 @@
+"""Hindley–Milner rank-1 inference (Algorithm W).
+
+The predicative baseline used by Theorem 3.1 (compatibility with rank-1
+polymorphism): every expression this system accepts, GI accepts with the
+same type.  The implementation is deliberately classic — monotypes plus
+top-level ``∀`` schemes, let-generalisation, sound occurs-checked
+unification — and completely independent of the GI machinery.
+"""
+
+from __future__ import annotations
+
+from repro.core.env import Environment
+from repro.core.errors import (
+    GIError,
+    OccursCheckError,
+    ScopeError,
+    TypeError_,
+    UnificationError,
+)
+from repro.core.names import NameSupply, letters
+from repro.core.sorts import Sort
+from repro.core.terms import (
+    Ann,
+    AnnLam,
+    App,
+    Case,
+    Lam,
+    Let,
+    Lit,
+    Term,
+    Var,
+)
+from repro.core.types import (
+    Forall,
+    TCon,
+    TVar,
+    Type,
+    UVar,
+    contains_uvar,
+    forall,
+    ftv,
+    fun,
+    fuv,
+    is_fully_monomorphic,
+    rename_canonical,
+    strip_forall,
+    subst_tvars,
+)
+
+
+class HMError(TypeError_):
+    """A rank-1 type error."""
+
+
+class HMInferencer:
+    """Algorithm W over the shared term/type ASTs.
+
+    Environment entries must be rank-1 (``∀ā.τ``); looking up a binding
+    with nested polymorphism raises, keeping the baseline honest about its
+    own expressiveness.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.supply = NameSupply("w")
+        self.subst: dict[UVar, Type] = {}
+
+    # -- plumbing --------------------------------------------------------
+
+    def fresh(self) -> UVar:
+        return UVar(self.supply.fresh(), Sort.M)
+
+    def zonk(self, type_: Type) -> Type:
+        if isinstance(type_, UVar):
+            bound = self.subst.get(type_)
+            return type_ if bound is None else self.zonk(bound)
+        if isinstance(type_, TCon):
+            return TCon(type_.name, tuple(self.zonk(a) for a in type_.args))
+        if isinstance(type_, Forall):
+            return Forall(type_.binders, self.zonk(type_.body), type_.context)
+        return type_
+
+    def unify(self, left: Type, right: Type) -> None:
+        left, right = self.zonk(left), self.zonk(right)
+        if left == right:
+            return
+        if isinstance(left, UVar):
+            if contains_uvar(right, left):
+                raise OccursCheckError(left, right)
+            self.subst[left] = right
+            return
+        if isinstance(right, UVar):
+            self.unify(right, left)
+            return
+        if (
+            isinstance(left, TCon)
+            and isinstance(right, TCon)
+            and left.name == right.name
+            and len(left.args) == len(right.args)
+        ):
+            for left_argument, right_argument in zip(left.args, right.args):
+                self.unify(left_argument, right_argument)
+            return
+        raise UnificationError(left, right)
+
+    def instantiate(self, scheme: Type) -> Type:
+        binders, body = strip_forall(scheme)
+        if isinstance(scheme, Forall) and scheme.context:
+            raise HMError("class contexts are outside the HM baseline")
+        if not is_fully_monomorphic(body):
+            raise HMError(
+                f"environment type `{scheme}` is not rank-1; outside the "
+                f"Hindley-Milner fragment"
+            )
+        mapping = {name: self.fresh() for name in binders}
+        return subst_tvars(mapping, body)
+
+    def generalize(self, env_types: list[Type], type_: Type) -> Type:
+        type_ = self.zonk(type_)
+        env_vars: set[UVar] = set()
+        for env_type in env_types:
+            env_vars |= fuv(self.zonk(env_type))
+        free = [variable for variable in _ordered_vars(type_) if variable not in env_vars]
+        names = []
+        used = ftv(type_)
+        supply = letters()
+        for variable in free:
+            for candidate in supply:
+                if candidate not in used:
+                    used.add(candidate)
+                    names.append(candidate)
+                    self.subst[variable] = TVar(candidate)
+                    break
+        return forall(names, self.zonk(type_))
+
+    # -- inference --------------------------------------------------------
+
+    def infer(self, term: Term) -> Type:
+        """The principal rank-1 type of a term (generalised)."""
+        self.subst = {}
+        local: dict[str, Type] = {}
+        type_ = self._infer(term, local)
+        return rename_canonical(self.generalize(list(local.values()), type_))
+
+    def accepts(self, term: Term) -> bool:
+        try:
+            self.infer(term)
+            return True
+        except GIError:
+            return False
+
+    def _lookup(self, name: str, local: dict[str, Type]) -> Type:
+        if name in local:
+            return local[name]
+        return self.env.lookup(name)
+
+    def _infer(self, term: Term, local: dict[str, Type]) -> Type:
+        if isinstance(term, Var):
+            return self.instantiate(self._lookup(term.name, local))
+        if isinstance(term, Lit):
+            return term.type_
+        if isinstance(term, App):
+            result = self._infer(term.head, local)
+            for argument in term.args:
+                arg_type = self._infer(argument, local)
+                fresh = self.fresh()
+                self.unify(result, fun(arg_type, fresh))
+                result = fresh
+            return result
+        if isinstance(term, Lam):
+            binder = self.fresh()
+            inner = dict(local)
+            inner[term.var] = binder
+            body = self._infer(term.body, inner)
+            return fun(binder, body)
+        if isinstance(term, AnnLam):
+            if not is_fully_monomorphic(term.annotation):
+                raise HMError("polymorphic lambda annotations are outside HM")
+            inner = dict(local)
+            inner[term.var] = term.annotation
+            body = self._infer(term.body, inner)
+            return fun(term.annotation, body)
+        if isinstance(term, Ann):
+            inferred = self._infer(term.expr, local)
+            binders, body = strip_forall(term.annotation)
+            if not is_fully_monomorphic(body):
+                raise HMError("higher-rank annotations are outside HM")
+            # Rank-1 signatures are checked by instantiating the signature
+            # with fresh *rigid* variables and unifying; the rigids must
+            # not leak into the environment.
+            mapping = {name: TVar(self.supply.fresh(name + "_rigid")) for name in binders}
+            rigids = {variable.name for variable in mapping.values()}
+            self.unify(inferred, subst_tvars(mapping, body))
+            for env_type in local.values():
+                if rigids & ftv(self.zonk(env_type)):
+                    raise HMError("signature variable would escape its scope")
+            # The expression now has the declared (rank-1) scheme; uses of
+            # it instantiate freshly.
+            return self.instantiate(term.annotation)
+        if isinstance(term, Let):
+            bound = self._infer(term.bound, local)
+            env_types = list(local.values())
+            scheme = self.generalize(env_types, bound)
+            inner = dict(local)
+            inner[term.var] = scheme
+            return self._infer(term.body, inner)
+        if isinstance(term, Case):
+            return self._infer_case(term, local)
+        raise TypeError(f"unknown term node: {term!r}")
+
+    def _infer_case(self, term: Case, local: dict[str, Type]) -> Type:
+        scrutinee = self._infer(term.scrutinee, local)
+        try:
+            first = self.env.lookup_datacon(term.alts[0].constructor)
+        except ScopeError:
+            raise
+        if first.existentials:
+            raise HMError("existential data constructors are outside HM")
+        alphas = {name: self.fresh() for name in first.universals}
+        self.unify(
+            scrutinee, TCon(first.result_con, tuple(alphas[n] for n in first.universals))
+        )
+        result = self.fresh()
+        for alt in term.alts:
+            datacon = self.env.lookup_datacon(alt.constructor)
+            if datacon.result_con != first.result_con:
+                raise HMError("mixed constructors in case")
+            fields = [subst_tvars(alphas, field) for field in datacon.fields]
+            if any(not is_fully_monomorphic(self.zonk(field)) for field in fields):
+                raise HMError("polymorphic fields are outside HM")
+            inner = dict(local)
+            inner.update(dict(zip(alt.binders, fields)))
+            self.unify(result, self._infer(alt.rhs, inner))
+        return result
+
+
+def _ordered_vars(type_: Type) -> list[UVar]:
+    seen: list[UVar] = []
+
+    def go(node: Type) -> None:
+        if isinstance(node, UVar):
+            if node not in seen:
+                seen.append(node)
+        elif isinstance(node, TCon):
+            for argument in node.args:
+                go(argument)
+        elif isinstance(node, Forall):
+            go(node.body)
+
+    go(type_)
+    return seen
+
+
+def hm_infer(term: Term, env: Environment) -> Type:
+    """Convenience wrapper."""
+    return HMInferencer(env).infer(term)

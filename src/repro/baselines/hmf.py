@@ -1,0 +1,471 @@
+"""HMF-style inference (after Leijen, ICFP 2008) — an executable baseline.
+
+HMF is the system the paper compares against most closely (Section 6):
+like GI it infers System F types with no new type-language features, but
+it makes *local, eager* decisions at each application instead of deferring
+them through constraints.  This implementation follows the published
+algorithm's architecture:
+
+* full System F types; unification may bind variables to polytypes;
+* quantified types unify only modulo α-renaming (invariant constructors);
+* λ-binders without annotations are fully monomorphic;
+* function application instantiates the function type eagerly and matches
+  arguments **left to right**; an argument matched against a bare
+  unification variable is instantiated first (the predicative preference
+  that gives ``choose id : (a → a) → a → a``);
+* arguments matched against a quantified expected type are *subsumed*:
+  the expected type is skolemised and the argument's generalised type must
+  cover it (with a skolem-escape check — this is what rejects
+  ``λxs. poly (head xs)``);
+* results of applications and lambdas are generalised.
+
+Leijen's paper also sketches an n-ary extension that postpones arguments
+facing a bare variable and iterates until a round fixes no further types;
+``HMFInferencer(nary=True)`` implements it (it accepts ``id : ids`` and
+``revapp argST runST``, which plain left-to-right HMF does not).
+
+Where this reconstruction is known to diverge from the published Figure 2
+column is measured and documented in EXPERIMENTS.md rather than patched
+over: Leijen's *minimal polymorphic weight* condition (the side condition
+that rejects ``choose id auto``) is only partially reproduced, via the
+rule that an inferred (generalised) quantifier is never instantiated
+impredicatively — declared quantifiers from the environment may be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.env import Environment
+from repro.core.errors import (
+    GIError,
+    OccursCheckError,
+    SkolemEscapeError,
+    TypeError_,
+    UnificationError,
+)
+from repro.core.names import NameSupply, letters
+from repro.core.sorts import Sort
+from repro.core.terms import (
+    Ann,
+    AnnLam,
+    App,
+    Case,
+    Lam,
+    Let,
+    Lit,
+    Term,
+    Var,
+)
+from repro.core.types import (
+    Forall,
+    TCon,
+    TVar,
+    Type,
+    UVar,
+    alpha_equal,
+    contains_uvar,
+    forall,
+    ftv,
+    fun,
+    fuv,
+    is_fully_monomorphic,
+    rename_canonical,
+    strip_forall,
+    subst_tvars,
+)
+
+
+class HMFError(TypeError_):
+    """An HMF type error."""
+
+
+# Unification-variable flavours, encoded in the shared UVar sort field:
+#   Sort.M — a λ-binder: must stay fully monomorphic (no ∀ anywhere);
+#   Sort.T — an *inferred* quantifier re-instantiated: never ∀-headed
+#            (the minimal-weight approximation);
+#   Sort.U — a declared quantifier's instantiation: unrestricted.
+
+
+class HMFInferencer:
+    """One HMF inference engine over the shared ASTs."""
+
+    def __init__(self, env: Environment, nary: bool = False) -> None:
+        self.env = env
+        self.nary = nary
+        self.supply = NameSupply("h")
+        self.subst: dict[UVar, Type] = {}
+        self.skolems: set[str] = set()
+        # Quantifiers introduced by our own generalisation (as opposed to
+        # declared in the environment or an annotation): re-instantiating
+        # these must stay predicative.
+        self.inferred_quantifiers: set[str] = set()
+
+    # -- plumbing --------------------------------------------------------
+
+    def fresh(self, sort: Sort = Sort.U) -> UVar:
+        return UVar(self.supply.fresh(), sort)
+
+    def zonk(self, type_: Type) -> Type:
+        if isinstance(type_, UVar):
+            bound = self.subst.get(type_)
+            return type_ if bound is None else self.zonk(bound)
+        if isinstance(type_, TCon):
+            return TCon(type_.name, tuple(self.zonk(a) for a in type_.args))
+        if isinstance(type_, Forall):
+            return Forall(type_.binders, self.zonk(type_.body), type_.context)
+        return type_
+
+    # -- unification ------------------------------------------------------
+
+    def unify(self, left: Type, right: Type) -> None:
+        left, right = self.zonk(left), self.zonk(right)
+        if left == right:
+            return
+        if isinstance(left, UVar):
+            self._bind(left, right)
+            return
+        if isinstance(right, UVar):
+            self._bind(right, left)
+            return
+        if (
+            isinstance(left, TCon)
+            and isinstance(right, TCon)
+            and left.name == right.name
+            and len(left.args) == len(right.args)
+        ):
+            for left_argument, right_argument in zip(left.args, right.args):
+                self.unify(left_argument, right_argument)
+            return
+        if isinstance(left, Forall) and isinstance(right, Forall):
+            if not alpha_equal(left, right):
+                self._unify_forall(left, right)
+            return
+        raise UnificationError(left, right)
+
+    def _unify_forall(self, left: Forall, right: Forall) -> None:
+        if len(left.binders) != len(right.binders):
+            raise UnificationError(left, right, "different numbers of quantifiers")
+        shared = [self._fresh_skolem(name) for name in left.binders]
+        left_map = {n: TVar(s) for n, s in zip(left.binders, shared)}
+        right_map = {n: TVar(s) for n, s in zip(right.binders, shared)}
+        self.unify(subst_tvars(left_map, left.body), subst_tvars(right_map, right.body))
+        # The shared skolems must not leak into the substitution images of
+        # any outer variable.
+        for skolem in shared:
+            for variable, image in list(self.subst.items()):
+                if skolem in ftv(self.zonk(image)) and variable not in fuv(
+                    self.zonk(left)
+                ):
+                    raise SkolemEscapeError(skolem, self.zonk(image))
+
+    def _bind(self, variable: UVar, type_: Type) -> None:
+        if contains_uvar(type_, variable):
+            raise OccursCheckError(variable, type_)
+        if variable.sort is Sort.M and _mentions_forall(type_):
+            raise HMFError(
+                f"monomorphic variable `{variable}` cannot be `{type_}` "
+                f"(annotate the lambda binder)"
+            )
+        if variable.sort is Sort.T and isinstance(type_, Forall):
+            raise HMFError(
+                f"ambiguous impredicative instantiation: inferred quantifier "
+                f"`{variable}` would become `{type_}` (minimal instantiation "
+                f"chooses the monomorphic alternative)"
+            )
+        self.subst[variable] = type_
+
+    # -- instantiation / generalisation -----------------------------------
+
+    def _fresh_skolem(self, hint: str) -> str:
+        name = self.supply.fresh(hint + "_sk")
+        self.skolems.add(name)
+        return name
+
+    def instantiate(self, scheme: Type, predicative: bool = False) -> Type:
+        """Strip the top quantifiers with fresh variables.
+
+        With ``predicative=True`` the fresh variables are restricted (never
+        ∀-headed): this is the *minimal polymorphic weight* preference —
+        an instantiation taken because nothing demanded polymorphism must
+        not later be forced polymorphic (rejects ``choose id auto``).
+        """
+        scheme = self.zonk(scheme)
+        binders, body = strip_forall(scheme)
+        if not binders:
+            return scheme
+        mapping = {}
+        arrow_vars = _vars_under_arrow(body) if predicative else set()
+        for name in binders:
+            if name in self.inferred_quantifiers or name in arrow_vars:
+                sort = Sort.T
+            else:
+                sort = Sort.U
+            mapping[name] = self.fresh(sort)
+        return subst_tvars(mapping, body)
+
+    def generalize(self, env_types: list[Type], type_: Type) -> Type:
+        type_ = self.zonk(type_)
+        env_vars: set[UVar] = set()
+        for env_type in env_types:
+            env_vars |= fuv(self.zonk(env_type))
+        free = [v for v in _ordered_vars(type_) if v not in env_vars]
+        names: list[str] = []
+        used = set(ftv(type_))
+        supply = letters()
+        for variable in free:
+            for candidate in supply:
+                fresh_name = f"{candidate}%"  # marked as inferred
+                if fresh_name not in used:
+                    used.add(fresh_name)
+                    names.append(fresh_name)
+                    self.inferred_quantifiers.add(fresh_name)
+                    self.subst[variable] = TVar(fresh_name)
+                    break
+        return forall(names, self.zonk(type_))
+
+    def subsume(self, expected: Type, offered: Type) -> None:
+        """``offered`` must be at least as polymorphic as ``expected``."""
+        expected = self.zonk(expected)
+        binders, body = strip_forall(expected)
+        if binders:
+            mapping = {name: TVar(self._fresh_skolem(name)) for name in binders}
+            body = subst_tvars(mapping, body)
+            outer_before = {
+                variable: self.zonk(variable) for variable in fuv(self.zonk(offered))
+            }
+            self.unify(self.instantiate(offered), body)
+            introduced = {
+                mapped.name for mapped in mapping.values() if isinstance(mapped, TVar)
+            }
+            for variable in outer_before:
+                if introduced & ftv(self.zonk(variable)):
+                    raise SkolemEscapeError(
+                        next(iter(introduced & ftv(self.zonk(variable)))),
+                        self.zonk(variable),
+                    )
+        else:
+            self.unify(self.instantiate(offered), body)
+
+    # -- inference ----------------------------------------------------------
+
+    def infer(self, term: Term) -> Type:
+        """The HMF type of a term (generalised, canonically renamed)."""
+        self.subst = {}
+        local: dict[str, Type] = {}
+        type_ = self._infer(term, local)
+        result = self.generalize(list(local.values()), type_)
+        return rename_canonical(_strip_marks(result))
+
+    def accepts(self, term: Term) -> bool:
+        try:
+            self.infer(term)
+            return True
+        except GIError:
+            return False
+
+    def _lookup(self, name: str, local: dict[str, Type]) -> Type:
+        if name in local:
+            return local[name]
+        return self.env.lookup(name)
+
+    def _infer(self, term: Term, local: dict[str, Type]) -> Type:
+        if isinstance(term, Var):
+            return self._lookup(term.name, local)
+        if isinstance(term, Lit):
+            return term.type_
+        if isinstance(term, App):
+            return self._infer_app(term, local, expected=None)
+        if isinstance(term, Lam):
+            binder = self.fresh(Sort.M)
+            inner = dict(local)
+            inner[term.var] = binder
+            body = self._infer(term.body, inner)
+            body = self.instantiate(body)
+            return self.generalize(list(local.values()), fun(binder, body))
+        if isinstance(term, AnnLam):
+            inner = dict(local)
+            inner[term.var] = term.annotation
+            body = self.instantiate(self._infer(term.body, inner))
+            return self.generalize(list(local.values()), fun(term.annotation, body))
+        if isinstance(term, Ann):
+            offered = self._infer(term.expr, local)
+            self.subsume(term.annotation, offered)
+            return term.annotation
+        if isinstance(term, Let):
+            bound = self._infer(term.bound, local)
+            scheme = self.generalize(list(local.values()), bound)
+            inner = dict(local)
+            inner[term.var] = scheme
+            return self._infer(term.body, inner)
+        if isinstance(term, Case):
+            return self._infer_case(term, local)
+        raise TypeError(f"unknown term node: {term!r}")
+
+    def _infer_app(
+        self, term: App, local: dict[str, Type], expected: Type | None = None
+    ) -> Type:
+        fn_type = self.instantiate(self._infer(term.head, local))
+        params: list[Type] = []
+        current = fn_type
+        for _ in term.args:
+            current = self.zonk(current)
+            if isinstance(current, Forall):
+                current = self.instantiate(current)
+            if isinstance(current, UVar):
+                parameter, result = self.fresh(), self.fresh()
+                self.unify(current, fun(parameter, result))
+                current = result
+            elif isinstance(current, TCon) and current.name == "->":
+                parameter, current = current.args
+            else:
+                raise HMFError(f"too many arguments for type `{current}`")
+            params.append(parameter)
+        if expected is not None:
+            # Type propagation: the expected type fixes the result before
+            # the arguments are matched, so impredicative instantiations
+            # demanded by the context are available to them (map poly
+            # (single id) needs this to type-check in HMF).
+            inner = self.zonk(current)
+            if isinstance(inner, Forall):
+                inner = self.instantiate(inner)
+            self.unify(inner, expected)
+            current = inner
+        order = list(range(len(term.args)))
+        if self.nary:
+            order = self._argument_order(params)
+        for index in order:
+            self._check_arg(term.args[index], params[index], local)
+        if expected is not None:
+            return self.zonk(current)
+        return self.generalize(list(local.values()), self.instantiate(self.zonk(current)))
+
+    def _argument_order(self, params: list[Type]) -> list[int]:
+        """Leijen's n-ary extension: arguments facing a bare variable are
+        postponed, iterating as earlier arguments fix types."""
+        remaining = list(range(len(params)))
+        order: list[int] = []
+        while remaining:
+            ready = [
+                index
+                for index in remaining
+                if not isinstance(self.zonk(params[index]), UVar)
+            ]
+            chosen = ready[0] if ready else remaining[0]
+            order.append(chosen)
+            remaining.remove(chosen)
+        return order
+
+    def _check_arg(self, argument: Term, parameter: Type, local: dict[str, Type]) -> None:
+        parameter = self.zonk(parameter)
+        if (
+            isinstance(argument, App)
+            and not isinstance(parameter, UVar)
+            and not isinstance(parameter, Forall)
+        ):
+            self._infer_app(argument, local, expected=parameter)
+            return
+        offered = self._infer(argument, local)
+        offered_gen = self.generalize(
+            list(local.values()), self.instantiate(offered)
+        ) if not isinstance(argument, Var) else self.zonk(offered)
+        if isinstance(parameter, Forall):
+            self.subsume(parameter, offered_gen)
+        elif isinstance(parameter, UVar):
+            # Predicative preference: a bare expected variable takes the
+            # *instantiated* argument type at restricted variables
+            # (choose id : (a→a)→a→a, and choose id auto is rejected).
+            self.unify(parameter, self.instantiate(offered_gen, predicative=True))
+        else:
+            self.unify(self.instantiate(offered_gen), parameter)
+
+    def _infer_case(self, term: Case, local: dict[str, Type]) -> Type:
+        scrutinee = self._infer(term.scrutinee, local)
+        first = self.env.lookup_datacon(term.alts[0].constructor)
+        alphas = {name: self.fresh() for name in first.universals}
+        self.unify(
+            self.instantiate(scrutinee),
+            TCon(first.result_con, tuple(alphas[n] for n in first.universals)),
+        )
+        result = self.fresh()
+        for alt in term.alts:
+            datacon = self.env.lookup_datacon(alt.constructor)
+            mapping: dict[str, Type] = dict(alphas)
+            mapping.update(
+                {name: TVar(self._fresh_skolem(name)) for name in datacon.existentials}
+            )
+            fields = [subst_tvars(mapping, field) for field in datacon.fields]
+            inner = dict(local)
+            inner.update(dict(zip(alt.binders, fields)))
+            self.unify(result, self.instantiate(self._infer(alt.rhs, inner)))
+        return self.zonk(result)
+
+
+def _vars_under_arrow(type_: Type, under_arrow: bool = False) -> set[str]:
+    """Variables whose nearest enclosing constructor is the function arrow.
+
+    The minimal-instantiation restriction only bites at function-typed
+    positions: predicatively instantiating ``∀a. a → a`` to ``β → β`` and
+    later finding ``β := ∀c. σ`` reveals a genuine ambiguity (the argument
+    could have been kept polymorphic, with a smaller polymorphic weight),
+    whereas a variable under a *data* constructor — ``∀p. [p]`` becoming
+    ``[γ]`` — admits no alternative shape, so a later polymorphic ``γ`` is
+    forced, not guessed (``choose [] ids`` is accepted, ``choose id auto``
+    is not).
+    """
+    result: set[str] = set()
+    if isinstance(type_, TVar):
+        if under_arrow:
+            result.add(type_.name)
+    elif isinstance(type_, TCon):
+        is_fun = type_.name == "->"
+        for argument in type_.args:
+            result |= _vars_under_arrow(argument, is_fun)
+    elif isinstance(type_, Forall):
+        result |= _vars_under_arrow(type_.body, under_arrow) - set(type_.binders)
+    return result
+
+
+def _mentions_forall(type_: Type) -> bool:
+    if isinstance(type_, Forall):
+        return True
+    if isinstance(type_, TCon):
+        return any(_mentions_forall(argument) for argument in type_.args)
+    return False
+
+
+def _ordered_vars(type_: Type) -> list[UVar]:
+    seen: list[UVar] = []
+
+    def go(node: Type) -> None:
+        if isinstance(node, UVar):
+            if node not in seen:
+                seen.append(node)
+        elif isinstance(node, TCon):
+            for argument in node.args:
+                go(argument)
+        elif isinstance(node, Forall):
+            go(node.body)
+
+    go(type_)
+    return seen
+
+
+def _strip_marks(type_: Type) -> Type:
+    """Remove the ``%`` inferred-quantifier marks before display."""
+    if isinstance(type_, TVar):
+        return TVar(type_.name.rstrip("%"))
+    if isinstance(type_, TCon):
+        return TCon(type_.name, tuple(_strip_marks(a) for a in type_.args))
+    if isinstance(type_, Forall):
+        return Forall(
+            tuple(name.rstrip("%") for name in type_.binders),
+            _strip_marks(type_.body),
+            type_.context,
+        )
+    return type_
+
+
+def hmf_infer(term: Term, env: Environment, nary: bool = False) -> Type:
+    """Convenience wrapper."""
+    return HMFInferencer(env, nary=nary).infer(term)

@@ -1,0 +1,70 @@
+"""A uniform interface over every executable type system in the repo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.env import Environment
+from repro.core.errors import GIError
+from repro.core.infer import Inferencer
+from repro.core.terms import Term
+from repro.core.types import Type
+from repro.baselines.hm import HMInferencer
+from repro.baselines.hmf import HMFInferencer
+from repro.baselines.rankn import RankNInferencer
+
+
+@dataclass(frozen=True)
+class System:
+    """One executable type system: a name and an inference function."""
+
+    name: str
+    description: str
+    infer: Callable[[Term, Environment], Type]
+
+    def accepts(self, term: Term, env: Environment) -> bool:
+        try:
+            self.infer(term, env)
+            return True
+        except GIError:
+            return False
+
+    def try_infer(self, term: Term, env: Environment) -> Type | None:
+        try:
+            return self.infer(term, env)
+        except GIError:
+            return None
+
+
+SYSTEMS: dict[str, System] = {
+    "GI": System(
+        "GI",
+        "Guarded impredicativity (this paper)",
+        lambda term, env: Inferencer(env).infer(term).type_,
+    ),
+    "HMF": System(
+        "HMF",
+        "HMF, plain left-to-right (Leijen 2008)",
+        lambda term, env: HMFInferencer(env).infer(term),
+    ),
+    "HMF-N": System(
+        "HMF-N",
+        "HMF with the n-ary postponed-argument extension",
+        lambda term, env: HMFInferencer(env, nary=True).infer(term),
+    ),
+    "HM": System(
+        "HM",
+        "Hindley-Milner rank-1 (Algorithm W)",
+        lambda term, env: HMInferencer(env).infer(term),
+    ),
+    "RankN": System(
+        "RankN",
+        "Predicative arbitrary-rank bidirectional (JFP 2007)",
+        lambda term, env: RankNInferencer(env).infer(term),
+    ),
+}
+
+
+def get_system(name: str) -> System:
+    return SYSTEMS[name]

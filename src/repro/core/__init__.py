@@ -1,0 +1,60 @@
+"""Core GI type system: syntax, constraints, generation and solving."""
+
+from repro.core.sorts import Sort
+from repro.core.types import TVar, TCon, UVar, Forall, Type
+from repro.core.terms import (
+    Ann,
+    AnnLam,
+    App,
+    Case,
+    CaseAlt,
+    Lam,
+    Let,
+    Lit,
+    Term,
+    Var,
+)
+from repro.core.env import Environment
+from repro.core.errors import (
+    GIError,
+    OccursCheckError,
+    ScopeError,
+    SkolemEscapeError,
+    SortError,
+    StuckConstraintError,
+    TypeError_,
+    UnificationError,
+)
+from repro.core.infer import InferenceResult, InferOptions, Inferencer, infer
+
+__all__ = [
+    "Sort",
+    "TVar",
+    "TCon",
+    "UVar",
+    "Forall",
+    "Type",
+    "Term",
+    "Var",
+    "App",
+    "Lam",
+    "AnnLam",
+    "Ann",
+    "Let",
+    "Lit",
+    "Case",
+    "CaseAlt",
+    "Environment",
+    "GIError",
+    "TypeError_",
+    "UnificationError",
+    "OccursCheckError",
+    "SortError",
+    "SkolemEscapeError",
+    "StuckConstraintError",
+    "ScopeError",
+    "infer",
+    "Inferencer",
+    "InferOptions",
+    "InferenceResult",
+]

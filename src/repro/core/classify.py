@@ -1,0 +1,123 @@
+"""Guardedness classification — the ``σ ▷s_ω Δ`` judgements of Figures 4–5.
+
+These implement the Instantiation Rule of Section 2.1: given the type of a
+function and the number (and kind) of arguments it is applied to, compute a
+*sort assignment* ``Δ`` saying how each quantified variable may be
+instantiated:
+
+* ``U`` (unrestricted) if the variable occurs **under a type constructor**
+  (guarded) in one of the first ``n`` argument types — rule ArgGuard;
+* ``T`` (top-level monomorphic) if it occurs naked in an argument — rule
+  ArgTyVar;
+* ``M`` (fully monomorphic) if it only occurs in the result — rule ArgsRes
+  with ``s = m`` (or ``s`` itself for annotated applications).
+
+The bit vector ``ω`` has one entry per argument: ``•`` (GEN) for arguments
+typed with rule ArgGen and ``⋆`` (STAR) for bare-variable arguments typed
+with rule VarGen.  Rule ArgsStar *resets* the variables of a ⋆ argument to
+``M`` so that an impredicatively pre-instantiated variable argument cannot
+itself justify impredicative instantiation of the others (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.core.sorts import Sort, SortAssignment
+from repro.core.types import Forall, TCon, TVar, Type, UVar, ftv, is_arrow
+
+
+class Bit(enum.Enum):
+    """One element of the vector ``ω``: how the argument was typed."""
+
+    GEN = "•"
+    STAR = "⋆"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify_argument(type_: Type) -> SortAssignment:
+    """The judgement ``σ ▷g Δ`` for a single argument position.
+
+    * ArgPoly strips quantifiers (their variables are not ours to solve);
+    * ArgGuard maps every variable under a constructor application to ``U``
+      (the function arrow counts: it is an ordinary constructor);
+    * ArgTyVar maps a naked variable to ``T``.
+    """
+    if isinstance(type_, Forall):
+        return classify_argument(type_.body).without(type_.binders)
+    if isinstance(type_, TVar):
+        return SortAssignment({type_.name: Sort.T})
+    if isinstance(type_, UVar):
+        # Unification variables are not subject to classification; they do
+        # not appear in Δ (classification only ever decides skolem binders).
+        return SortAssignment()
+    if isinstance(type_, TCon):
+        return SortAssignment({name: Sort.U for name in ftv(type_)})
+    raise TypeError(f"unknown type node: {type_!r}")
+
+
+def classify(type_: Type, sort: Sort, bits: Sequence[Bit]) -> SortAssignment:
+    """The judgement ``σ ▷s_ω Δ`` (Figures 4 and 5).
+
+    ``type_`` is the (possibly quantified) function type, ``sort`` the sort
+    parameter ``s`` (``M`` for plain applications, ``U`` for annotated
+    ones), and ``bits`` the vector ``ω`` with one entry per argument.
+    """
+    bits = list(bits)
+    if isinstance(type_, Forall):
+        # ArgsPoly: strip the binders, classify the body, forget them.
+        inner = classify(type_.body, sort, bits)
+        return inner.without(type_.binders)
+    if not bits:
+        # ArgsRes: everything left in the result is classified ``s``.
+        return SortAssignment({name: sort for name in ftv(type_)})
+    if is_arrow(type_):
+        assert isinstance(type_, TCon)
+        argument, rest = type_.args
+        if bits[0] is Bit.STAR:
+            # ArgsStar.  A ⋆ argument was typed by rule VarGen, whose
+            # unrestricted pre-instantiation must not by itself justify
+            # impredicative instantiation: its *naked* variables are reset
+            # to ``m`` (so ``choose [] []`` stays fully monomorphic and no
+            # impredicativity is ever guessed, Theorem 3.2).  Guarded
+            # occurrences still classify ``u`` — the reading required by
+            # the paper's own examples: ``map head (single ids)`` (C10)
+            # needs ``q``, which occurs only under the arrow of the
+            # ⋆-argument ``head``, to admit a polymorphic instantiation.
+            head = SortAssignment(
+                {
+                    name: (Sort.M if sort is Sort.T else sort)
+                    for name, sort in classify_argument(argument).items()
+                }
+            )
+        else:
+            # ArgsArrow: classify the argument with ▷g.
+            head = classify_argument(argument)
+        tail = classify(rest, sort, bits[1:])
+        return head.joined_with(tail)
+    # ArgsTyVar (generalised): the function type cannot be split into an
+    # arrow although arguments remain; its variables may only be
+    # instantiated fully monomorphically.  (For a bare variable this is
+    # exactly rule ArgsTyVar; for a non-arrow constructor the subsequent
+    # unification with an arrow will fail with a proper type error.)
+    return SortAssignment({name: Sort.M for name in ftv(type_)})
+
+
+def classified_binders(
+    type_: Type, sort: Sort, bits: Sequence[Bit]
+) -> SortAssignment:
+    """Sorts for exactly the *top-level binders* of a quantified type.
+
+    This is what rule InstPoly needs: variables of the type that are not
+    bound at the top level keep whatever status they already have.  Binders
+    that do not receive a classification (impossible given the grammar's
+    ``ā ⊆ ftv(µ)`` invariant, but kept safe) default to ``M``.
+    """
+    binders, body = (type_.binders, type_.body) if isinstance(type_, Forall) else ((), type_)
+    assignment = classify(body, sort, bits)
+    return SortAssignment(
+        {name: assignment.get(name, Sort.M) for name in binders}
+    )

@@ -1,0 +1,128 @@
+"""Error hierarchy for GI type inference.
+
+Every failure mode the solver can report is a distinct exception class so
+tests (and downstream tools) can assert on the *kind* of rejection, not
+just on rejection itself.  All inherit from :class:`GIError`.
+"""
+
+from __future__ import annotations
+
+
+class GIError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ParseError(GIError):
+    """The surface syntax could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = f" at {line}:{column}" if line is not None else ""
+        super().__init__(f"parse error{location}: {message}")
+
+
+class TypeError_(GIError):
+    """Base class for type errors (named with a trailing underscore to
+    avoid shadowing the builtin)."""
+
+
+class UnificationError(TypeError_):
+    """Two types could not be made equal."""
+
+    def __init__(self, left, right, reason: str = ""):
+        self.left = left
+        self.right = right
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"cannot unify `{left}` with `{right}`{detail}")
+
+
+class OccursCheckError(UnificationError):
+    """A unification variable occurs inside the type it is equated with
+    (the infinite-type check of rule eqsubst)."""
+
+    def __init__(self, variable, type_):
+        self.variable = variable
+        self.type_ = type_
+        TypeError_.__init__(
+            self,
+            f"occurs check: cannot construct the infinite type "
+            f"`{variable} ~ {type_}`",
+        )
+        self.left = variable
+        self.right = type_
+
+
+class SortError(TypeError_):
+    """A unification variable was equated with a type its sort forbids.
+
+    This is how GI rejects un-annotated impredicativity: e.g. a fully
+    monomorphic variable (an un-annotated lambda binder) meeting a
+    polymorphic type.
+    """
+
+    def __init__(self, variable, type_, sort):
+        self.variable = variable
+        self.type_ = type_
+        self.sort = sort
+        super().__init__(
+            f"sort error: variable `{variable}` of sort `{sort.symbol}` cannot "
+            f"stand for `{type_}`, which requires more polymorphism than the "
+            f"sort permits (add a type annotation)"
+        )
+
+
+class SkolemEscapeError(TypeError_):
+    """A skolem constant introduced by generalisation or a signature leaked
+    into an outer scope (the failure case of rule float)."""
+
+    def __init__(self, skolem, type_=None):
+        self.skolem = skolem
+        self.type_ = type_
+        where = f" via `{type_}`" if type_ is not None else ""
+        super().__init__(
+            f"rigid type variable `{skolem}` would escape its scope{where}"
+        )
+
+
+class StuckConstraintError(TypeError_):
+    """The solver reached a fixpoint with residual non-equality constraints
+    it could not discharge (an ambiguous/underdetermined program)."""
+
+    def __init__(self, constraints):
+        self.constraints = list(constraints)
+        rendered = "; ".join(str(constraint) for constraint in self.constraints)
+        super().__init__(f"unsolved constraints: {rendered}")
+
+
+class ScopeError(TypeError_):
+    """A term variable or data constructor is not in scope."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"variable not in scope: `{name}`")
+
+
+class AnnotationNeededError(TypeError_):
+    """Raised when a construct requires a type annotation (e.g. a lambda
+    binder that must be polymorphic — the Lambda Rule of Section 2.3)."""
+
+    def __init__(self, what: str):
+        super().__init__(f"type annotation needed: {what}")
+
+
+class MissingInstanceError(TypeError_):
+    """A class constraint could not be discharged from the instance
+    environment or the local givens (Appendix B extension)."""
+
+    def __init__(self, constraint):
+        self.constraint = constraint
+        super().__init__(f"no instance for `{constraint}`")
+
+
+class ElaborationError(GIError):
+    """Internal invariant violation while building the System F witness."""
+
+
+class SystemFTypeError(GIError):
+    """The System F type checker rejected a term."""

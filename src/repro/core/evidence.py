@@ -1,0 +1,108 @@
+"""Evidence recording for elaboration into System F.
+
+Constraint generation tags every instantiation (``⩽``), generalisation
+(``⪯``) and quantification site with the *path* of the term node it came
+from (a tuple of child indices from the root).  While solving, the solver
+records:
+
+* for each instantiation constraint, the interleaved trace of type
+  arguments chosen by rule inst∀l and explicit arguments consumed by rule
+  inst→ — exactly the shape ``ψ1 e1 ψ2 e2 ... ψr`` of Figure 16;
+* for each generalisation constraint, the skolems introduced by rule
+  inst∀r (the ``Λb̄`` binders of rules ArgGen / VarGen in Figure 16) and,
+  for VarGen, the unrestricted variables used to pre-instantiate the
+  variable's rank-1 type;
+* for each quantification constraint, nothing extra (its binders are the
+  user-written ones, already known from the annotation).
+
+After solving, all recorded types are zonked through the final
+substitution, so elaboration sees ground System F types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.types import Type, UVar
+
+Path = tuple[int, ...]
+
+
+@dataclass
+class TypeArgs:
+    """``ψ``: a block of type arguments chosen by one inst∀l step."""
+
+    types: list[Type]
+
+
+@dataclass
+class TakeArg:
+    """Marker: the next explicit argument is consumed here (rule inst→)."""
+
+
+InstEvent = Union[TypeArgs, TakeArg]
+
+
+@dataclass
+class GenEvidence:
+    """What happened when a generalisation constraint was discharged."""
+
+    skolems: list[str] = field(default_factory=list)
+    star: bool = False
+    """Whether the argument was typed by rule VarGen (bit ⋆)."""
+    # VarGen only: the unrestricted variables substituted for the rank-1
+    # binders ``p̄`` (in binder order), to become type applications.
+    star_type_args: list[Type] = field(default_factory=list)
+    # ArgGen release: type arguments used to instantiate a top-level
+    # quantifier of the scheme's own type (only when the scheme type is an
+    # annotation result ``∀ā.η`` that is released against a mono type).
+    release_type_args: list[Type] = field(default_factory=list)
+
+
+@dataclass
+class CaseEvidence:
+    """Instantiation data for one case expression (Figure 12)."""
+
+    tycon_args: list[Type] = field(default_factory=list)
+    alt_skolems: list[list[str]] = field(default_factory=list)
+    field_types: list[list[Type]] = field(default_factory=list)
+
+
+@dataclass
+class EvidenceStore:
+    """All evidence collected for one inference run, keyed by term path."""
+
+    inst_traces: dict[Path, list[InstEvent]] = field(default_factory=dict)
+    gen_infos: dict = field(default_factory=dict)
+    lam_binders: dict[Path, Type] = field(default_factory=dict)
+    let_types: dict[Path, Type] = field(default_factory=dict)
+    case_infos: dict[Path, CaseEvidence] = field(default_factory=dict)
+
+    def inst_trace(self, path: Path) -> list[InstEvent]:
+        return self.inst_traces.setdefault(path, [])
+
+    def gen_info(self, path) -> GenEvidence:
+        return self.gen_infos.setdefault(path, GenEvidence())
+
+    def case_info(self, path: Path) -> CaseEvidence:
+        return self.case_infos.setdefault(path, CaseEvidence())
+
+    def zonk(self, zonker) -> None:
+        """Apply a type-normalising function to every recorded type."""
+        for trace in self.inst_traces.values():
+            for event in trace:
+                if isinstance(event, TypeArgs):
+                    event.types = [zonker(type_) for type_ in event.types]
+        for info in self.gen_infos.values():
+            info.star_type_args = [zonker(type_) for type_ in info.star_type_args]
+            info.release_type_args = [zonker(type_) for type_ in info.release_type_args]
+        for path, type_ in self.lam_binders.items():
+            self.lam_binders[path] = zonker(type_)
+        for path, type_ in self.let_types.items():
+            self.let_types[path] = zonker(type_)
+        for info in self.case_infos.values():
+            info.tycon_args = [zonker(type_) for type_ in info.tycon_args]
+            info.field_types = [
+                [zonker(type_) for type_ in fields] for fields in info.field_types
+            ]

@@ -1,0 +1,263 @@
+"""Top-level type inference: generate constraints, solve, generalise.
+
+This is the public entry point of the library::
+
+    from repro.core import infer
+    result = infer(term, env)
+    print(result.type_)          # the principal type
+
+Inference follows Section 4 of the paper: constraint generation
+(:mod:`repro.core.generate`) followed by constraint solving
+(:mod:`repro.core.solver`).  After solving, residual unification
+variables in the inferred type are generalised into quantifiers — the
+principal-type property (Theorem 4.3) guarantees any other valid type for
+the term is a fully monomorphic substitution instance of the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import ClassC, Constraint
+from repro.core.env import Environment
+from repro.core.errors import GIError, MissingInstanceError
+from repro.core.evidence import EvidenceStore
+from repro.core.generate import GenOptions, Generator
+from repro.core.names import NameSupply, letters
+from repro.core.solver import InstanceEnv, Solver
+from repro.core.terms import Ann, Term
+from repro.core.types import (
+    Pred,
+    TVar,
+    Type,
+    UVar,
+    forall,
+    ftv,
+    fuv,
+    rename_canonical,
+)
+
+
+@dataclass
+class InferOptions:
+    """Configuration for one inference run.
+
+    ``use_vargen`` / ``nary_apps`` feed the ablation benchmarks;
+    ``generalize`` controls whether residual variables are quantified.
+    """
+
+    use_vargen: bool = True
+    nary_apps: bool = True
+    generalize: bool = True
+
+
+@dataclass
+class InferenceResult:
+    """Everything produced by one inference run."""
+
+    type_: Type
+    """The principal type (generalised, canonically renamed)."""
+
+    raw_type: Type
+    """The zonked solver type before generalisation (may contain residual
+    unification variables if ``generalize=False``)."""
+
+    term: Term
+    constraints: list[Constraint]
+    """The constraints as generated (before solving), for inspection."""
+
+    evidence: EvidenceStore
+    solver: "Solver"
+    context: tuple[Pred, ...] = ()
+    """Residual class constraints quantified into the type's context."""
+
+    generalized_binders: tuple[str, ...] = ()
+    """Names given to residual unification variables by generalisation (in
+    quantification order) — the ``Λ`` binders of the elaborated term."""
+
+    def __str__(self) -> str:
+        return str(self.type_)
+
+
+class Inferencer:
+    """A reusable inference engine bound to an environment."""
+
+    def __init__(
+        self,
+        env: Environment | None = None,
+        instances: InstanceEnv | None = None,
+        options: InferOptions | None = None,
+    ) -> None:
+        self.env = env or Environment()
+        self.instances = instances or InstanceEnv()
+        self.options = options or InferOptions()
+
+    def infer(self, term: Term) -> InferenceResult:
+        """Infer the principal type of a term; raises :class:`GIError`."""
+        supply = NameSupply("u")
+        evidence = EvidenceStore()
+        generator = Generator(
+            supply,
+            evidence,
+            GenOptions(
+                use_vargen=self.options.use_vargen,
+                nary_apps=self.options.nary_apps,
+            ),
+        )
+        result_type, constraints = generator.gen(self.env, term)
+        solver = Solver(supply, evidence, self.instances)
+        residual = solver.solve(list(constraints))
+        zonked = solver.unifier.zonk(result_type)
+
+        residual_preds: list[ClassC] = []
+        for predicate, scope in residual:
+            if scope.level != 0:
+                raise MissingInstanceError(predicate)
+            residual_preds.append(
+                ClassC(
+                    predicate.class_name,
+                    tuple(solver.unifier.zonk(a) for a in predicate.args),
+                )
+            )
+
+        if not self.options.generalize:
+            evidence.zonk(solver.unifier.zonk)
+            return InferenceResult(
+                zonked, zonked, term, list(constraints), evidence, solver
+            )
+
+        principal, context, binders = self._generalize(zonked, residual_preds, solver)
+        self._ground_evidence(evidence, solver)
+        evidence.zonk(solver.unifier.zonk)
+        return InferenceResult(
+            rename_canonical(principal),
+            zonked,
+            term,
+            list(constraints),
+            evidence,
+            solver,
+            context,
+            binders,
+        )
+
+    def check(self, term: Term, type_: Type) -> InferenceResult:
+        """Check a term against a signature (``f :: σ; f = e`` becomes the
+        problem ``(e :: σ)``, Section 3.4)."""
+        return self.infer(Ann(term, type_))
+
+    def accepts(self, term: Term) -> bool:
+        """Whether the term is typeable (no exception)."""
+        try:
+            self.infer(term)
+            return True
+        except GIError:
+            return False
+
+    # ------------------------------------------------------------------
+
+    def _ground_evidence(self, evidence: EvidenceStore, solver: Solver) -> None:
+        """Bind unification variables that survive solving only inside the
+        elaboration evidence (e.g. the type of an unused let binding) to
+        fresh rigid variables, so elaborated terms contain no unification
+        variables."""
+        avoid = set(self.env.free_type_vars())
+        supply = letters()
+        for type_ in _evidence_types(evidence):
+            for variable in _ordered_fuv(solver.unifier.zonk(type_)):
+                for candidate in supply:
+                    name = f"{candidate}0"
+                    if name not in avoid:
+                        avoid.add(name)
+                        solver.unifier.subst[variable] = TVar(name)
+                        break
+
+    def _generalize(
+        self, zonked: Type, residual_preds: list[ClassC], solver: Solver
+    ) -> tuple[Type, tuple[Pred, ...], tuple[str, ...]]:
+        """Quantify the residual unification variables of the type.
+
+        Variables are bound through the solver substitution so recorded
+        evidence zonks to the same quantified names.
+        """
+        avoid = ftv(zonked) | set(self.env.free_type_vars())
+        supply = letters()
+
+        def next_name() -> str:
+            for candidate in supply:
+                if candidate not in avoid:
+                    avoid.add(candidate)
+                    return candidate
+            raise RuntimeError("unreachable")
+
+        free = _ordered_fuv(zonked)
+        for predicate in residual_preds:
+            for argument in predicate.args:
+                for variable in _ordered_fuv(argument):
+                    if variable not in free:
+                        free.append(variable)
+        names: list[str] = []
+        for variable in free:
+            name = next_name()
+            names.append(name)
+            solver.unifier.subst[variable] = TVar(name)
+        body = solver.unifier.zonk(zonked)
+        context = tuple(
+            Pred(
+                predicate.class_name,
+                tuple(solver.unifier.zonk(argument) for argument in predicate.args),
+            )
+            for predicate in residual_preds
+        )
+        return forall(names, body, context), context, tuple(names)
+
+
+def _evidence_types(evidence: EvidenceStore):
+    """Every type stored anywhere in the evidence."""
+    from repro.core.evidence import TypeArgs
+
+    for trace in evidence.inst_traces.values():
+        for event in trace:
+            if isinstance(event, TypeArgs):
+                yield from event.types
+    for info in evidence.gen_infos.values():
+        yield from info.star_type_args
+        yield from info.release_type_args
+    yield from evidence.lam_binders.values()
+    yield from evidence.let_types.values()
+    for info in evidence.case_infos.values():
+        yield from info.tycon_args
+        for fields in info.field_types:
+            yield from fields
+
+
+def _ordered_fuv(type_: Type) -> list[UVar]:
+    """Free unification variables in first-occurrence order."""
+    seen: list[UVar] = []
+
+    def go(node: Type) -> None:
+        from repro.core.types import Forall, TCon
+
+        if isinstance(node, UVar):
+            if node not in seen:
+                seen.append(node)
+        elif isinstance(node, TCon):
+            for argument in node.args:
+                go(argument)
+        elif isinstance(node, Forall):
+            for predicate in node.context:
+                for argument in predicate.args:
+                    go(argument)
+            go(node.body)
+
+    go(type_)
+    return seen
+
+
+def infer(
+    term: Term,
+    env: Environment | None = None,
+    instances: InstanceEnv | None = None,
+    options: InferOptions | None = None,
+) -> InferenceResult:
+    """Convenience wrapper: infer the principal type of ``term``."""
+    return Inferencer(env, instances, options).infer(term)

@@ -1,0 +1,39 @@
+"""Fresh-name supplies for unification variables and skolems."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+
+class NameSupply:
+    """A deterministic supply of fresh names with a common prefix.
+
+    Names look like ``t0``, ``t1``, ... — deterministic so inference runs
+    are reproducible and error messages are stable.
+    """
+
+    def __init__(self, prefix: str = "t") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str | None = None) -> str:
+        """Produce a fresh name, optionally keeping a human-readable hint."""
+        index = next(self._counter)
+        if hint:
+            base = hint.rstrip("0123456789'")
+            return f"{base}{index}"
+        return f"{self._prefix}{index}"
+
+    def fresh_many(self, count: int, hint: str | None = None) -> list[str]:
+        """Produce ``count`` fresh names."""
+        return [self.fresh(hint) for _ in range(count)]
+
+
+def letters() -> Iterator[str]:
+    """An endless stream ``a, b, ..., z, a1, b1, ...`` for pretty binders."""
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    for round_index in itertools.count():
+        suffix = "" if round_index == 0 else str(round_index)
+        for letter in alphabet:
+            yield letter + suffix

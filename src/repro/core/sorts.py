@@ -1,0 +1,97 @@
+"""The three-point sort lattice of GI (Figure 3 of the paper).
+
+Sorts classify types (and unification variables) by how much polymorphism
+they may carry:
+
+* ``M`` (written ``m`` in the paper) — *fully monomorphic*: no ``forall``
+  anywhere.  These are ordinary Hindley-Milner monotypes.
+* ``T`` (``t``) — *top-level monomorphic*: no quantifier at the top of the
+  type, but arbitrary polymorphism is allowed under a type constructor
+  (e.g. ``[forall a. a -> a]``).
+* ``U`` (``u``) — *unrestricted*: any polymorphic type.
+
+They form the total order ``M ⊏ T ⊏ U``.  Classification of a function
+type's quantified variables (``repro.core.classify``) produces a *sort
+assignment* mapping each variable to the most permissive sort its
+occurrences justify; the lattice join is therefore ``max``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class Sort(enum.IntEnum):
+    """A sort in the lattice ``M ⊏ T ⊏ U``.
+
+    ``IntEnum`` so that the lattice order coincides with the integer order:
+    ``Sort.M < Sort.T < Sort.U``.
+    """
+
+    M = 0
+    T = 1
+    U = 2
+
+    @property
+    def symbol(self) -> str:
+        """The superscript letter used in the paper (``m``, ``t``, ``u``)."""
+        return self.name.lower()
+
+    def join(self, other: "Sort") -> "Sort":
+        """Least upper bound: the more permissive of the two sorts."""
+        return self if self >= other else other
+
+    def meet(self, other: "Sort") -> "Sort":
+        """Greatest lower bound: the more restrictive of the two sorts."""
+        return self if self <= other else other
+
+    def permits(self, other: "Sort") -> bool:
+        """Whether a variable of this sort may stand for a type of ``other``.
+
+        A unification variable of sort ``s`` may only be unified with types
+        that *respect* ``s``; a type respecting a more restrictive sort also
+        respects every more permissive one.
+        """
+        return other <= self
+
+
+def join_all(sorts: Iterable[Sort]) -> Sort:
+    """Join of a collection of sorts; ``M`` (bottom) for the empty one."""
+    result = Sort.M
+    for sort in sorts:
+        result = result.join(sort)
+    return result
+
+
+class SortAssignment(dict):
+    """A finite map from type-variable names to sorts (``Δ`` in the paper).
+
+    Joining two assignments (the ``⊔`` of rule ArgsArrow) takes, for each
+    variable, the most permissive sort either side justifies: if a variable
+    occurs guarded in *some* argument it may be instantiated impredicatively
+    even if it also occurs naked elsewhere.
+    """
+
+    def joined_with(self, other: "SortAssignment") -> "SortAssignment":
+        """Pointwise lattice join of two assignments."""
+        result = SortAssignment(self)
+        for name, sort in other.items():
+            if name in result:
+                result[name] = result[name].join(sort)
+            else:
+                result[name] = sort
+        return result
+
+    def without(self, names: Iterable[str]) -> "SortAssignment":
+        """The assignment with the given variables removed (``Δ\\a``)."""
+        removed = set(names)
+        return SortAssignment(
+            (name, sort) for name, sort in self.items() if name not in removed
+        )
+
+    def overridden_by(self, other: "SortAssignment") -> "SortAssignment":
+        """Right-biased override (used by ArgsStar, which *resets* sorts)."""
+        result = SortAssignment(self)
+        result.update(other)
+        return result

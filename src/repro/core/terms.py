@@ -1,0 +1,319 @@
+"""Term syntax of the GI source language (Figure 3, extended in Fig 11).
+
+Expressions::
+
+    e ::= x                        variable (a nullary application)
+        | e0 e1 ... en             n-ary application
+        | λx. e                    un-annotated lambda
+        | λ(x :: σ). e             annotated lambda
+        | (e0 e1 ... en :: σ)      annotated application
+        | let x = e1 in e2
+        | case e0 of { K x̄ -> e ; ... }
+        | literal                  Int / Bool / Char / String literals
+
+Application is *n-ary*: :class:`App` stores a head (never itself an
+:class:`App`; the smart constructor :func:`app` flattens) plus a tuple of
+arguments.  A lone variable is treated as a nullary application by the
+typing rules, not by the syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.types import BOOL, CHAR, INT, STRING, Type
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of all term forms."""
+
+    def __str__(self) -> str:
+        from repro.syntax.pretty import pretty_term
+
+        return pretty_term(self)
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A term variable occurrence."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Lit(Term):
+    """A literal with a built-in type."""
+
+    value: object
+
+    @property
+    def type_(self) -> Type:
+        if isinstance(self.value, bool):
+            return BOOL
+        if isinstance(self.value, int):
+            return INT
+        if isinstance(self.value, str) and len(self.value) == 1:
+            return CHAR
+        if isinstance(self.value, str):
+            return STRING
+        raise TypeError(f"unsupported literal: {self.value!r}")
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """An n-ary application ``e0 e1 ... en`` (n ≥ 1).
+
+    The head is never an :class:`App`: we always take as many arguments as
+    possible, maximising the opportunities for guardedness (Section 3.2).
+    """
+
+    head: Term
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+        if not self.args:
+            raise ValueError("App requires at least one argument; use the head alone")
+        if isinstance(self.head, App):
+            raise ValueError("App head must not itself be an App; use app()")
+
+
+def app(head: Term, *arguments: Term) -> Term:
+    """Build an application, flattening nested heads into one n-ary node."""
+    if not arguments:
+        return head
+    if isinstance(head, App):
+        return App(head.head, head.args + tuple(arguments))
+    return App(head, tuple(arguments))
+
+
+@dataclass(frozen=True)
+class Lam(Term):
+    """An un-annotated lambda ``λx. e``; the binder gets a fully
+    monomorphic type (the Lambda Rule, Section 2.3)."""
+
+    var: str
+    body: Term
+
+
+@dataclass(frozen=True)
+class AnnLam(Term):
+    """An annotated lambda ``λ(x :: σ). e``."""
+
+    var: str
+    annotation: Type
+    body: Term
+
+
+@dataclass(frozen=True)
+class Ann(Term):
+    """An annotated (possibly nullary) application ``(e :: σ)``."""
+
+    expr: Term
+    annotation: Type
+
+
+@dataclass(frozen=True)
+class Let(Term):
+    """``let x = e1 in e2`` — no implicit generalisation (Section 3.5)."""
+
+    var: str
+    bound: Term
+    body: Term
+
+
+@dataclass(frozen=True)
+class CaseAlt:
+    """One alternative ``K x1 ... xn -> e`` of a case expression."""
+
+    constructor: str
+    binders: tuple[str, ...]
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.binders, tuple):
+            object.__setattr__(self, "binders", tuple(self.binders))
+
+
+@dataclass(frozen=True)
+class Case(Term):
+    """``case e0 of { alts }`` (Appendix A)."""
+
+    scrutinee: Term
+    alts: tuple[CaseAlt, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.alts, tuple):
+            object.__setattr__(self, "alts", tuple(self.alts))
+        if not self.alts:
+            raise ValueError("case expression needs at least one alternative")
+
+
+def lam(*binders_and_body) -> Term:
+    """Convenience: ``lam('x', 'y', body)`` builds nested lambdas."""
+    *binders, body = binders_and_body
+    if not binders:
+        raise ValueError("lam() needs at least one binder")
+    result = body
+    for binder in reversed(binders):
+        if isinstance(binder, tuple):
+            name, annotation = binder
+            result = AnnLam(name, annotation, result)
+        else:
+            result = Lam(binder, result)
+    return result
+
+
+def free_vars(term: Term) -> set[str]:
+    """Free term variables of an expression."""
+    result: set[str] = set()
+    _collect_free(term, frozenset(), result)
+    return result
+
+
+def _collect_free(term: Term, bound: frozenset[str], out: set[str]) -> None:
+    if isinstance(term, Var):
+        if term.name not in bound:
+            out.add(term.name)
+    elif isinstance(term, Lit):
+        pass
+    elif isinstance(term, App):
+        _collect_free(term.head, bound, out)
+        for argument in term.args:
+            _collect_free(argument, bound, out)
+    elif isinstance(term, Lam):
+        _collect_free(term.body, bound | {term.var}, out)
+    elif isinstance(term, AnnLam):
+        _collect_free(term.body, bound | {term.var}, out)
+    elif isinstance(term, Ann):
+        _collect_free(term.expr, bound, out)
+    elif isinstance(term, Let):
+        _collect_free(term.bound, bound, out)
+        _collect_free(term.body, bound | {term.var}, out)
+    elif isinstance(term, Case):
+        _collect_free(term.scrutinee, bound, out)
+        for alt in term.alts:
+            _collect_free(alt.rhs, bound | set(alt.binders), out)
+    else:
+        raise TypeError(f"unknown term node: {term!r}")
+
+
+def term_size(term: Term) -> int:
+    """Number of AST nodes."""
+    return sum(1 for _ in walk_terms(term))
+
+
+def walk_terms(term: Term) -> Iterator[Term]:
+    """Pre-order traversal of all term nodes."""
+    yield term
+    if isinstance(term, App):
+        yield from walk_terms(term.head)
+        for argument in term.args:
+            yield from walk_terms(argument)
+    elif isinstance(term, (Lam, AnnLam)):
+        yield from walk_terms(term.body)
+    elif isinstance(term, Ann):
+        yield from walk_terms(term.expr)
+    elif isinstance(term, Let):
+        yield from walk_terms(term.bound)
+        yield from walk_terms(term.body)
+    elif isinstance(term, Case):
+        yield from walk_terms(term.scrutinee)
+        for alt in term.alts:
+            yield from walk_terms(alt.rhs)
+
+
+def subst_type_vars_in_term(mapping, term: Term) -> Term:
+    """Rename free (skolem) type variables inside every annotation of a term.
+
+    Used by rule AnnApp: the binders of a type annotation scope over the
+    annotated expression (lexically scoped type variables), so when the
+    generator freshens them to unique skolems it must apply the same
+    renaming to nested annotations.
+    """
+    from repro.core.types import subst_tvars
+
+    if not mapping:
+        return term
+    if isinstance(term, (Var, Lit)):
+        return term
+    if isinstance(term, App):
+        return App(
+            subst_type_vars_in_term(mapping, term.head),
+            tuple(subst_type_vars_in_term(mapping, argument) for argument in term.args),
+        )
+    if isinstance(term, Lam):
+        return Lam(term.var, subst_type_vars_in_term(mapping, term.body))
+    if isinstance(term, AnnLam):
+        return AnnLam(
+            term.var,
+            subst_tvars(mapping, term.annotation),
+            subst_type_vars_in_term(mapping, term.body),
+        )
+    if isinstance(term, Ann):
+        return Ann(
+            subst_type_vars_in_term(mapping, term.expr),
+            subst_tvars(mapping, term.annotation),
+        )
+    if isinstance(term, Let):
+        return Let(
+            term.var,
+            subst_type_vars_in_term(mapping, term.bound),
+            subst_type_vars_in_term(mapping, term.body),
+        )
+    if isinstance(term, Case):
+        return Case(
+            subst_type_vars_in_term(mapping, term.scrutinee),
+            tuple(
+                CaseAlt(
+                    alt.constructor,
+                    alt.binders,
+                    subst_type_vars_in_term(mapping, alt.rhs),
+                )
+                for alt in term.alts
+            ),
+        )
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def subst_term(term: Term, name: str, replacement: Term) -> Term:
+    """Capture-avoiding-enough substitution ``e[x := u]``.
+
+    Used by the metatheory tests (Theorem 3.4); we assume, as those tests
+    arrange, that the replacement's free variables are not captured.
+    """
+    if isinstance(term, Var):
+        return replacement if term.name == name else term
+    if isinstance(term, Lit):
+        return term
+    if isinstance(term, App):
+        new_head = subst_term(term.head, name, replacement)
+        new_args = tuple(subst_term(argument, name, replacement) for argument in term.args)
+        return app(new_head, *new_args)
+    if isinstance(term, Lam):
+        if term.var == name:
+            return term
+        return Lam(term.var, subst_term(term.body, name, replacement))
+    if isinstance(term, AnnLam):
+        if term.var == name:
+            return term
+        return AnnLam(term.var, term.annotation, subst_term(term.body, name, replacement))
+    if isinstance(term, Ann):
+        return Ann(subst_term(term.expr, name, replacement), term.annotation)
+    if isinstance(term, Let):
+        new_bound = subst_term(term.bound, name, replacement)
+        new_body = term.body if term.var == name else subst_term(term.body, name, replacement)
+        return Let(term.var, new_bound, new_body)
+    if isinstance(term, Case):
+        new_scrutinee = subst_term(term.scrutinee, name, replacement)
+        new_alts = []
+        for alt in term.alts:
+            if name in alt.binders:
+                new_alts.append(alt)
+            else:
+                new_alts.append(CaseAlt(alt.constructor, alt.binders, subst_term(alt.rhs, name, replacement)))
+        return Case(new_scrutinee, tuple(new_alts))
+    raise TypeError(f"unknown term node: {term!r}")

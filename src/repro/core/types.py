@@ -1,0 +1,592 @@
+"""Type syntax of GI (Figures 3 and 6 of the paper).
+
+The grammar, stratified by sorts::
+
+    fully monomorphic   τ ::= a | αᵐ | T τ̄
+    top-level mono      µ ::= a | αᵐ | αᵗ | T σ̄
+    polymorphic         σ ::= αᵘ | ∀ā. µ        (ā possibly empty)
+
+We represent all three layers with one AST and check membership with
+:func:`respects`.  The function arrow is an ordinary binary constructor
+``->`` (all constructors in GI are invariant, including functions), lists
+are the unary constructor ``[]``, and tuples are ``(,)``/``(,,)``.
+
+Unification variables (:class:`UVar`) carry a *sort* restricting what they
+may stand for, and a *level* used by the solver to implement floating with
+promotion (rule float of Figure 10) and skolem-escape checking.  Skolem
+(rigid) variables are :class:`TVar`; bound occurrences inside a
+:class:`Forall` use the same constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.names import letters
+from repro.core.sorts import Sort
+
+ARROW = "->"
+LIST_CON = "[]"
+TOP_LEVEL = 0
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of all type forms."""
+
+    def __str__(self) -> str:
+        return render_type(self)
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    """A skolem / rigid type variable, or a ``Forall``-bound occurrence."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UVar(Type):
+    """A unification variable ``α^s`` with its sort and scope level.
+
+    The sort is part of the variable's identity: the solver never mutates a
+    variable's sort in place, it binds the variable to a fresh one of the
+    required sort (rule eqvar).  The level records the quantification depth
+    at which the variable was created; binding an outer variable to a type
+    mentioning deeper variables triggers promotion.
+    """
+
+    name: str
+    sort: Sort = Sort.U
+    level: int = TOP_LEVEL
+
+    def __str__(self) -> str:
+        return f"{self.name}^{self.sort.symbol}"
+
+
+@dataclass(frozen=True)
+class TCon(Type):
+    """A saturated type-constructor application ``T σ1 ... σn``."""
+
+    name: str
+    args: tuple[Type, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+
+@dataclass(frozen=True)
+class Forall(Type):
+    """A polymorphic type ``∀ a1 ... an. Q ⇒ µ`` (Figure 3 / Figure 13).
+
+    ``context`` is the (possibly empty) list of simple class constraints
+    ``Q`` of the Appendix B extension; each element is a pair
+    ``(class_name, argument_types)``.  Invariants (enforced by the
+    :func:`forall` smart constructor): every binder occurs free in the body
+    or the context, and the body has no top-level ``Forall``.  A
+    quantifier-free qualified type ``Q ⇒ µ`` is represented with an empty
+    binder tuple.
+    """
+
+    binders: tuple[str, ...]
+    body: Type
+    context: tuple["Pred", ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.binders, tuple):
+            object.__setattr__(self, "binders", tuple(self.binders))
+        if not isinstance(self.context, tuple):
+            object.__setattr__(self, "context", tuple(self.context))
+
+
+@dataclass(frozen=True)
+class Pred:
+    """A class predicate ``D σ1 ... σn`` appearing in a type context."""
+
+    class_name: str
+    args: tuple[Type, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        rendered = " ".join(render_type(argument, 3) for argument in self.args)
+        return f"{self.class_name} {rendered}"
+
+
+def forall(
+    binders: Sequence[str], body: Type, context: Sequence["Pred"] = ()
+) -> Type:
+    """Build ``∀ binders. context ⇒ body``, normalising to the grammar.
+
+    Collapses nested quantifiers (merging contexts), drops binders that
+    occur neither in the body nor in the context, and returns the body
+    unchanged when no binder and no context survive.
+    """
+    context = tuple(context)
+    if isinstance(body, Forall):
+        binders = tuple(binders) + body.binders
+        context = context + body.context
+        body = body.body
+    free = ftv(body)
+    for predicate in context:
+        for argument in predicate.args:
+            free |= ftv(argument)
+    kept = []
+    seen: set[str] = set()
+    for name in binders:
+        if name in free and name not in seen:
+            kept.append(name)
+            seen.add(name)
+    if not kept and not context:
+        return body
+    return Forall(tuple(kept), body, context)
+
+
+def fun(*types: Type) -> Type:
+    """Right-nested function type ``t1 -> t2 -> ... -> tn``."""
+    if not types:
+        raise ValueError("fun() needs at least one type")
+    result = types[-1]
+    for argument in reversed(types[:-1]):
+        result = TCon(ARROW, (argument, result))
+    return result
+
+
+def list_of(element: Type) -> Type:
+    """The list type ``[element]``."""
+    return TCon(LIST_CON, (element,))
+
+
+def tuple_of(*elements: Type) -> Type:
+    """The tuple type ``(e1, ..., en)``."""
+    if len(elements) < 2:
+        raise ValueError("tuples have at least two components")
+    return TCon("(" + "," * (len(elements) - 1) + ")", tuple(elements))
+
+
+INT = TCon("Int")
+BOOL = TCon("Bool")
+CHAR = TCon("Char")
+STRING = TCon("String")
+UNIT = TCon("()")
+
+
+def is_arrow(type_: Type) -> bool:
+    """Whether the type is a function type ``σ1 -> σ2``."""
+    return isinstance(type_, TCon) and type_.name == ARROW and len(type_.args) == 2
+
+
+def arrow_parts(type_: Type) -> tuple[Type, Type]:
+    """Split ``σ1 -> σ2`` into ``(σ1, σ2)``; raises if not an arrow."""
+    if not is_arrow(type_):
+        raise ValueError(f"not a function type: {type_}")
+    assert isinstance(type_, TCon)
+    return type_.args[0], type_.args[1]
+
+
+def split_arrows(type_: Type, limit: int | None = None) -> tuple[list[Type], Type]:
+    """Split off up to ``limit`` argument types (all of them if ``None``)."""
+    arguments: list[Type] = []
+    while is_arrow(type_) and (limit is None or len(arguments) < limit):
+        argument, type_ = arrow_parts(type_)
+        arguments.append(argument)
+    return arguments, type_
+
+
+def strip_forall(type_: Type) -> tuple[tuple[str, ...], Type]:
+    """Split a type into its top-level binders and its body."""
+    if isinstance(type_, Forall):
+        return type_.binders, type_.body
+    return (), type_
+
+
+def ftv(type_: Type) -> set[str]:
+    """Free (skolem) type variables."""
+    result: set[str] = set()
+    _collect_ftv(type_, frozenset(), result)
+    return result
+
+
+def _collect_ftv(type_: Type, bound: frozenset[str], out: set[str]) -> None:
+    if isinstance(type_, TVar):
+        if type_.name not in bound:
+            out.add(type_.name)
+    elif isinstance(type_, TCon):
+        for argument in type_.args:
+            _collect_ftv(argument, bound, out)
+    elif isinstance(type_, Forall):
+        inner_bound = bound | set(type_.binders)
+        for predicate in type_.context:
+            for argument in predicate.args:
+                _collect_ftv(argument, inner_bound, out)
+        _collect_ftv(type_.body, inner_bound, out)
+
+
+def fuv(type_: Type) -> set[UVar]:
+    """Free unification variables (all unification variables are free)."""
+    result: set[UVar] = set()
+    _collect_fuv(type_, result)
+    return result
+
+
+def _collect_fuv(type_: Type, out: set[UVar]) -> None:
+    if isinstance(type_, UVar):
+        out.add(type_)
+    elif isinstance(type_, TCon):
+        for argument in type_.args:
+            _collect_fuv(argument, out)
+    elif isinstance(type_, Forall):
+        for predicate in type_.context:
+            for argument in predicate.args:
+                _collect_fuv(argument, out)
+        _collect_fuv(type_.body, out)
+
+
+def subst_tvars(mapping: Mapping[str, Type], type_: Type) -> Type:
+    """Capture-avoiding substitution of skolem variables ``[a ↦ σ]``."""
+    if not mapping:
+        return type_
+    if isinstance(type_, TVar):
+        return mapping.get(type_.name, type_)
+    if isinstance(type_, UVar):
+        return type_
+    if isinstance(type_, TCon):
+        return TCon(type_.name, tuple(subst_tvars(mapping, a) for a in type_.args))
+    if isinstance(type_, Forall):
+        relevant = {
+            name: image
+            for name, image in mapping.items()
+            if name not in type_.binders
+        }
+        if not relevant:
+            return type_
+        image_ftvs: set[str] = set()
+        for image in relevant.values():
+            image_ftvs |= ftv(image)
+        binders = list(type_.binders)
+        body = type_.body
+        clashing = [name for name in binders if name in image_ftvs]
+        if clashing:
+            avoid = image_ftvs | ftv(body) | set(binders)
+            renaming: dict[str, Type] = {}
+            for name in clashing:
+                fresh_name = _fresh_tvar_name(name, avoid)
+                avoid.add(fresh_name)
+                renaming[name] = TVar(fresh_name)
+                binders[binders.index(name)] = fresh_name
+            body = subst_tvars(renaming, body)
+        context = tuple(
+            _subst_pred(renaming, predicate) for predicate in type_.context
+        ) if clashing else type_.context
+        return Forall(
+            tuple(binders),
+            subst_tvars(relevant, body),
+            tuple(_subst_pred(relevant, predicate) for predicate in context),
+        )
+    raise TypeError(f"unknown type node: {type_!r}")
+
+
+def _subst_pred(mapping: Mapping[str, Type], predicate: "Pred") -> "Pred":
+    return Pred(
+        predicate.class_name,
+        tuple(subst_tvars(mapping, argument) for argument in predicate.args),
+    )
+
+
+def _fresh_tvar_name(base: str, avoid: set[str]) -> str:
+    base = base.rstrip("0123456789")
+    index = 1
+    while f"{base}{index}" in avoid:
+        index += 1
+    return f"{base}{index}"
+
+
+def subst_uvars(mapping: Mapping[UVar, Type], type_: Type) -> Type:
+    """Substitution of unification variables (zonking one step)."""
+    if not mapping:
+        return type_
+    if isinstance(type_, UVar):
+        return mapping.get(type_, type_)
+    if isinstance(type_, TVar):
+        return type_
+    if isinstance(type_, TCon):
+        return TCon(type_.name, tuple(subst_uvars(mapping, a) for a in type_.args))
+    if isinstance(type_, Forall):
+        return Forall(
+            type_.binders,
+            subst_uvars(mapping, type_.body),
+            tuple(
+                Pred(
+                    predicate.class_name,
+                    tuple(subst_uvars(mapping, argument) for argument in predicate.args),
+                )
+                for predicate in type_.context
+            ),
+        )
+    raise TypeError(f"unknown type node: {type_!r}")
+
+
+def respects(type_: Type, sort: Sort) -> bool:
+    """Whether a type respects a sort (Figure 4, top-left judgement).
+
+    * every type respects ``U``;
+    * a type respects ``T`` when it has no top-level quantifier and is not
+      an unrestricted unification variable;
+    * a type respects ``M`` when it contains no quantifier anywhere and all
+      its unification variables have sort ``M``.
+    """
+    if sort is Sort.U:
+        return True
+    if sort is Sort.T:
+        if isinstance(type_, Forall):
+            return False
+        if isinstance(type_, UVar):
+            return type_.sort <= Sort.T
+        return True
+    # Sort.M: fully monomorphic.
+    if isinstance(type_, Forall):
+        return False
+    if isinstance(type_, UVar):
+        return type_.sort is Sort.M
+    if isinstance(type_, TVar):
+        return True
+    if isinstance(type_, TCon):
+        return all(respects(argument, Sort.M) for argument in type_.args)
+    raise TypeError(f"unknown type node: {type_!r}")
+
+
+def sort_of(type_: Type) -> Sort:
+    """The most restrictive sort the type respects."""
+    if respects(type_, Sort.M):
+        return Sort.M
+    if respects(type_, Sort.T):
+        return Sort.T
+    return Sort.U
+
+
+def is_fully_monomorphic(type_: Type) -> bool:
+    """``True`` when the type has no trace of polymorphism (sort ``m``)."""
+    return respects(type_, Sort.M)
+
+
+def is_rank1(type_: Type) -> bool:
+    """Whether the type is rank-1: ``∀ p̄. τ`` with a fully monomorphic body.
+
+    Rule VarGen (Figure 5) only applies to variables with closed rank-1
+    types.
+    """
+    _, body = strip_forall(type_)
+    return is_fully_monomorphic(body)
+
+
+def alpha_equal(left: Type, right: Type) -> bool:
+    """Alpha-equality of types (the equality used by rule eqrefl).
+
+    Quantifier *order matters* in GI: ``∀a b. a -> b -> b`` is **not**
+    alpha-equal to ``∀b a. a -> b -> b`` (Section 2.4 of the paper);
+    alpha-equality only ignores the names of binders, not their order.
+    """
+    return _alpha_equal(left, right, {}, {}, [0])
+
+
+def _alpha_equal(
+    left: Type,
+    right: Type,
+    left_env: dict[str, int],
+    right_env: dict[str, int],
+    counter: list[int],
+) -> bool:
+    if isinstance(left, TVar) and isinstance(right, TVar):
+        left_index = left_env.get(left.name)
+        right_index = right_env.get(right.name)
+        if left_index is None and right_index is None:
+            return left.name == right.name
+        return left_index is not None and left_index == right_index
+    if isinstance(left, UVar) and isinstance(right, UVar):
+        return left == right
+    if isinstance(left, TCon) and isinstance(right, TCon):
+        if left.name != right.name or len(left.args) != len(right.args):
+            return False
+        return all(
+            _alpha_equal(l, r, left_env, right_env, counter)
+            for l, r in zip(left.args, right.args)
+        )
+    if isinstance(left, Forall) and isinstance(right, Forall):
+        if len(left.binders) != len(right.binders):
+            return False
+        if len(left.context) != len(right.context):
+            return False
+        left_env = dict(left_env)
+        right_env = dict(right_env)
+        for left_name, right_name in zip(left.binders, right.binders):
+            counter[0] += 1
+            left_env[left_name] = counter[0]
+            right_env[right_name] = counter[0]
+        for left_pred, right_pred in zip(left.context, right.context):
+            if left_pred.class_name != right_pred.class_name:
+                return False
+            if len(left_pred.args) != len(right_pred.args):
+                return False
+            if not all(
+                _alpha_equal(l, r, left_env, right_env, counter)
+                for l, r in zip(left_pred.args, right_pred.args)
+            ):
+                return False
+        return _alpha_equal(left.body, right.body, left_env, right_env, counter)
+    return False
+
+
+def rename_canonical(type_: Type) -> Type:
+    """Rename all quantified variables to a canonical ``a, b, c, ...`` scheme.
+
+    Useful for displaying principal types and for structural comparisons in
+    tests.  Free variables are left untouched.
+    """
+    supply = letters()
+    free = ftv(type_)
+    used = set(free)
+
+    def next_name() -> str:
+        for candidate in supply:
+            if candidate not in used:
+                used.add(candidate)
+                return candidate
+        raise RuntimeError("unreachable")
+
+    def go(node: Type, env: Mapping[str, Type]) -> Type:
+        if isinstance(node, TVar):
+            replaced = env.get(node.name)
+            return replaced if replaced is not None else node
+        if isinstance(node, UVar):
+            return node
+        if isinstance(node, TCon):
+            return TCon(node.name, tuple(go(argument, env) for argument in node.args))
+        if isinstance(node, Forall):
+            new_env = dict(env)
+            new_binders = []
+            for binder in node.binders:
+                fresh = next_name()
+                new_binders.append(fresh)
+                new_env[binder] = TVar(fresh)
+            new_context = tuple(
+                Pred(p.class_name, tuple(go(argument, new_env) for argument in p.args))
+                for p in node.context
+            )
+            return Forall(tuple(new_binders), go(node.body, new_env), new_context)
+        raise TypeError(f"unknown type node: {node!r}")
+
+    return go(type_, {})
+
+
+def type_size(type_: Type) -> int:
+    """Number of AST nodes; used by benchmarks and fuzzers."""
+    if isinstance(type_, (TVar, UVar)):
+        return 1
+    if isinstance(type_, TCon):
+        return 1 + sum(type_size(argument) for argument in type_.args)
+    if isinstance(type_, Forall):
+        extra = sum(
+            type_size(argument)
+            for predicate in type_.context
+            for argument in predicate.args
+        )
+        return 1 + extra + type_size(type_.body)
+    raise TypeError(f"unknown type node: {type_!r}")
+
+
+def contains_uvar(type_: Type, variable: UVar) -> bool:
+    """Occurs check helper."""
+    if isinstance(type_, UVar):
+        return type_ == variable
+    if isinstance(type_, TCon):
+        return any(contains_uvar(argument, variable) for argument in type_.args)
+    if isinstance(type_, Forall):
+        if any(
+            contains_uvar(argument, variable)
+            for predicate in type_.context
+            for argument in predicate.args
+        ):
+            return True
+        return contains_uvar(type_.body, variable)
+    return False
+
+
+def walk(type_: Type) -> Iterator[Type]:
+    """Pre-order traversal of all type nodes."""
+    yield type_
+    if isinstance(type_, TCon):
+        for argument in type_.args:
+            yield from walk(argument)
+    elif isinstance(type_, Forall):
+        yield from walk(type_.body)
+
+
+def map_uvars(function: Callable[[UVar], Type], type_: Type) -> Type:
+    """Rebuild the type, replacing every unification variable via ``function``."""
+    if isinstance(type_, UVar):
+        return function(type_)
+    if isinstance(type_, TVar):
+        return type_
+    if isinstance(type_, TCon):
+        return TCon(type_.name, tuple(map_uvars(function, a) for a in type_.args))
+    if isinstance(type_, Forall):
+        return Forall(
+            type_.binders,
+            map_uvars(function, type_.body),
+            tuple(
+                Pred(
+                    predicate.class_name,
+                    tuple(map_uvars(function, argument) for argument in predicate.args),
+                )
+                for predicate in type_.context
+            ),
+        )
+    raise TypeError(f"unknown type node: {type_!r}")
+
+
+def render_type(type_: Type, precedence: int = 0) -> str:
+    """A small built-in renderer (the full pretty printer lives in
+    ``repro.syntax.pretty``; this one keeps ``__str__`` dependency-free)."""
+    if isinstance(type_, TVar):
+        return type_.name
+    if isinstance(type_, UVar):
+        return f"{type_.name}^{type_.sort.symbol}"
+    if isinstance(type_, Forall):
+        body = render_type(type_.body, 0)
+        context = ""
+        if type_.context:
+            preds = ", ".join(str(predicate) for predicate in type_.context)
+            wrapped = f"({preds})" if len(type_.context) > 1 else preds
+            context = f"{wrapped} => "
+        quantifier = f"forall {' '.join(type_.binders)}. " if type_.binders else ""
+        rendered = f"{quantifier}{context}{body}"
+        return f"({rendered})" if precedence > 0 else rendered
+    if isinstance(type_, TCon):
+        if type_.name == ARROW and len(type_.args) == 2:
+            left = render_type(type_.args[0], 2)
+            right = render_type(type_.args[1], 1)
+            rendered = f"{left} -> {right}"
+            return f"({rendered})" if precedence > 1 else rendered
+        if type_.name == LIST_CON and len(type_.args) == 1:
+            return f"[{render_type(type_.args[0], 0)}]"
+        if type_.name.startswith("(,") or type_.name == "(,)":
+            inner = ", ".join(render_type(argument, 0) for argument in type_.args)
+            return f"({inner})"
+        if not type_.args:
+            return type_.name
+        pieces = [type_.name] + [render_type(argument, 3) for argument in type_.args]
+        rendered = " ".join(pieces)
+        return f"({rendered})" if precedence > 2 else rendered
+    raise TypeError(f"unknown type node: {type_!r}")
+
+
+def free_uvar_names(types: Iterable[Type]) -> set[str]:
+    """Names of unification variables free in any of the given types."""
+    result: set[str] = set()
+    for type_ in types:
+        result |= {variable.name for variable in fuv(type_)}
+    return result

@@ -1,0 +1,296 @@
+"""Sort- and level-aware unification (the equality rules of Figure 8).
+
+This module implements the equality fragment of the solver:
+
+* **eqrefl / eqmono** — structural decomposition; two quantified types
+  must be equal modulo α-renaming of their binders (quantifier order
+  matters, Section 2.4), though unification variables occurring *inside*
+  matched bodies may still be solved.
+* **eqsubst** — binding a variable applies everywhere (here: a global
+  idempotent-by-zonking substitution with an occurs check).
+* **eqvar** — when two variables of different sorts meet, the less
+  restrictive one is bound to the more restrictive one.
+* **eqfully** — equating a type with a fully monomorphic variable demotes
+  every unification variable in the type to sort ``m``.
+
+Floating with promotion (rule float of Figure 10) is realised with
+*levels*: every unification variable and skolem records the depth of the
+quantification scope it belongs to.  Binding an outer variable to a type
+that mentions deeper unification variables *promotes* those variables
+(binds them to fresh outer ones); mentioning a deeper skolem is a skolem
+escape, reported as such.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.errors import (
+    OccursCheckError,
+    SkolemEscapeError,
+    SortError,
+    UnificationError,
+)
+from repro.core.names import NameSupply
+from repro.core.sorts import Sort
+from repro.core.types import (
+    Forall,
+    Pred,
+    TCon,
+    TVar,
+    Type,
+    UVar,
+    contains_uvar,
+    ftv,
+    fuv,
+    subst_tvars,
+    subst_uvars,
+)
+
+TVarResolver = Callable[[str], Type | None]
+
+
+class Unifier:
+    """Mutable unification state: substitution, fresh supply, skolem levels."""
+
+    def __init__(self, supply: NameSupply | None = None) -> None:
+        self.supply = supply or NameSupply("v")
+        self.subst: dict[UVar, Type] = {}
+        self.skolem_levels: dict[str, int] = {}
+        self.bindings = 0
+
+    # -- fresh variables and skolems -----------------------------------
+
+    def fresh(self, sort: Sort, level: int) -> UVar:
+        return UVar(self.supply.fresh(), sort, level)
+
+    def fresh_skolem(self, hint: str, level: int) -> str:
+        name = self.supply.fresh(hint + "_")
+        self.skolem_levels[name] = level
+        return name
+
+    def skolem_level(self, name: str) -> int:
+        """Level of a skolem; unknown names are ambient (level 0)."""
+        return self.skolem_levels.get(name, 0)
+
+    # -- substitution ---------------------------------------------------
+
+    def zonk(self, type_: Type) -> Type:
+        """Fully apply the current substitution to a type."""
+        if isinstance(type_, UVar):
+            bound = self.subst.get(type_)
+            if bound is None:
+                return type_
+            resolved = self.zonk(bound)
+            if resolved is not bound:
+                # Path compression keeps repeated zonks cheap.
+                self.subst[type_] = resolved
+            return resolved
+        if isinstance(type_, TVar):
+            return type_
+        if isinstance(type_, TCon):
+            return TCon(type_.name, tuple(self.zonk(argument) for argument in type_.args))
+        if isinstance(type_, Forall):
+            return Forall(
+                type_.binders,
+                self.zonk(type_.body),
+                tuple(
+                    Pred(p.class_name, tuple(self.zonk(a) for a in p.args))
+                    for p in type_.context
+                ),
+            )
+        raise TypeError(f"unknown type node: {type_!r}")
+
+    def zonk_head(self, type_: Type) -> Type:
+        """Resolve only a top-level variable chain."""
+        while isinstance(type_, UVar):
+            bound = self.subst.get(type_)
+            if bound is None:
+                return type_
+            type_ = bound
+        return type_
+
+    # -- unification ----------------------------------------------------
+
+    def unify(
+        self,
+        left: Type,
+        right: Type,
+        level: int = 0,
+        resolver: TVarResolver | None = None,
+    ) -> None:
+        """Make ``left`` and ``right`` equal or raise a type error.
+
+        ``level`` is the current scope depth (used when opening quantified
+        types); ``resolver`` optionally rewrites rigid variables using
+        local given equalities (the GADT extension of Appendix B).
+        """
+        left = self.zonk(left)
+        right = self.zonk(right)
+        if left == right:
+            return
+        if isinstance(left, UVar):
+            self.bind(left, right, resolver)
+            return
+        if isinstance(right, UVar):
+            self.bind(right, left, resolver)
+            return
+        if isinstance(left, TVar) or isinstance(right, TVar):
+            self._unify_rigid(left, right, level, resolver)
+            return
+        if isinstance(left, TCon) and isinstance(right, TCon):
+            if left.name != right.name or len(left.args) != len(right.args):
+                raise UnificationError(left, right, "different type constructors")
+            for left_argument, right_argument in zip(left.args, right.args):
+                self.unify(left_argument, right_argument, level, resolver)
+            return
+        if isinstance(left, Forall) and isinstance(right, Forall):
+            self._unify_forall(left, right, level, resolver)
+            return
+        if isinstance(left, Forall) or isinstance(right, Forall):
+            raise UnificationError(
+                left,
+                right,
+                "a polymorphic type can only equal another polymorphic type; "
+                "all constructors in GI are invariant",
+            )
+        raise UnificationError(left, right)
+
+    def _unify_rigid(
+        self, left: Type, right: Type, level: int, resolver: TVarResolver | None
+    ) -> None:
+        """Rigid variables match only themselves, modulo local givens."""
+        if resolver is not None:
+            if isinstance(left, TVar):
+                rewritten = resolver(left.name)
+                if rewritten is not None:
+                    self.unify(rewritten, right, level, resolver)
+                    return
+            if isinstance(right, TVar):
+                rewritten = resolver(right.name)
+                if rewritten is not None:
+                    self.unify(left, rewritten, level, resolver)
+                    return
+        raise UnificationError(left, right, "rigid type variable")
+
+    def _unify_forall(
+        self, left: Forall, right: Forall, level: int, resolver: TVarResolver | None
+    ) -> None:
+        """Equate two quantified types (eqrefl modulo α).
+
+        Binders are matched positionally — quantifier order is significant
+        — by renaming both bodies to shared fresh skolems one level deeper
+        than the current scope, so that any attempt to leak a bound
+        variable into an outer unification variable fails the escape
+        check.
+        """
+        if len(left.binders) != len(right.binders):
+            raise UnificationError(left, right, "different numbers of quantifiers")
+        if len(left.context) != len(right.context):
+            raise UnificationError(left, right, "different class contexts")
+        inner = level + 1
+        shared = [
+            self.fresh_skolem(name, inner) for name in left.binders
+        ]
+        left_map = {name: TVar(skolem) for name, skolem in zip(left.binders, shared)}
+        right_map = {name: TVar(skolem) for name, skolem in zip(right.binders, shared)}
+        for left_pred, right_pred in zip(left.context, right.context):
+            if left_pred.class_name != right_pred.class_name or len(
+                left_pred.args
+            ) != len(right_pred.args):
+                raise UnificationError(left, right, "different class contexts")
+            for left_argument, right_argument in zip(left_pred.args, right_pred.args):
+                self.unify(
+                    subst_tvars(left_map, left_argument),
+                    subst_tvars(right_map, right_argument),
+                    inner,
+                    resolver,
+                )
+        self.unify(
+            subst_tvars(left_map, left.body),
+            subst_tvars(right_map, right.body),
+            inner,
+            resolver,
+        )
+
+    # -- variable binding -----------------------------------------------
+
+    def bind(self, variable: UVar, type_: Type, resolver: TVarResolver | None = None) -> None:
+        """Bind a unification variable, enforcing sorts and levels."""
+        type_ = self.zonk(type_)
+        if type_ == variable:
+            return
+        if isinstance(type_, UVar):
+            self._bind_var_var(variable, type_)
+            return
+        if contains_uvar(type_, variable):
+            raise OccursCheckError(variable, type_)
+        type_ = self._enforce_sort(variable, type_)
+        type_ = self._promote(variable, type_)
+        self._check_skolems(variable, type_)
+        self.subst[variable] = type_
+        self.bindings += 1
+
+    def _bind_var_var(self, left: UVar, right: UVar) -> None:
+        """Rule eqvar: the less restrictive variable is substituted away;
+        among equal sorts, the deeper one (to avoid needless promotion)."""
+        if left.sort < right.sort:
+            left, right = right, left
+        elif left.sort == right.sort and left.level < right.level:
+            left, right = right, left
+        # ``left`` is now the variable to eliminate.
+        if right.level > left.level:
+            # Equal sorts cannot reach here (ordering above); a more
+            # restrictive but deeper variable must be promoted first.
+            promoted = self.fresh(right.sort, left.level)
+            self.subst[right] = promoted
+            self.bindings += 1
+            right = promoted
+        self.subst[left] = right
+        self.bindings += 1
+
+    def _enforce_sort(self, variable: UVar, type_: Type) -> Type:
+        """Rules eqvar/eqfully: make the type respect the variable's sort."""
+        if variable.sort is Sort.U:
+            return type_
+        if isinstance(type_, Forall):
+            raise SortError(variable, type_, variable.sort)
+        if variable.sort is Sort.T:
+            return type_
+        # Sort.M — demote every unification variable in the type (eqfully)
+        # and reject any quantifier hiding under a constructor.
+        if _mentions_forall(type_):
+            raise SortError(variable, type_, Sort.M)
+        mapping: dict[UVar, Type] = {}
+        for inner in fuv(type_):
+            if inner.sort is not Sort.M:
+                demoted = self.fresh(Sort.M, inner.level)
+                self.subst[inner] = demoted
+                self.bindings += 1
+                mapping[inner] = demoted
+        return subst_uvars(mapping, type_) if mapping else type_
+
+    def _promote(self, variable: UVar, type_: Type) -> Type:
+        """Rule float: deeper unification variables in the image of an
+        outer variable are replaced by fresh outer ones."""
+        mapping: dict[UVar, Type] = {}
+        for inner in fuv(type_):
+            if inner.level > variable.level:
+                promoted = self.fresh(inner.sort, variable.level)
+                self.subst[inner] = promoted
+                self.bindings += 1
+                mapping[inner] = promoted
+        return subst_uvars(mapping, type_) if mapping else type_
+
+    def _check_skolems(self, variable: UVar, type_: Type) -> None:
+        for name in ftv(type_):
+            if self.skolem_level(name) > variable.level:
+                raise SkolemEscapeError(name, type_)
+
+
+def _mentions_forall(type_: Type) -> bool:
+    if isinstance(type_, Forall):
+        return True
+    if isinstance(type_, TCon):
+        return any(_mentions_forall(argument) for argument in type_.args)
+    return False

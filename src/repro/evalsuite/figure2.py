@@ -1,0 +1,137 @@
+"""The example corpus of Figure 2, with the paper's expected results.
+
+Thirty examples (A1–E3) from the impredicativity literature, each with the
+✓/No verdict Figure 2 reports for GI, MLF, HMF, FPH and HML, and — where
+the paper states one — the type GI infers.
+
+The ``GI`` and ``HMF`` columns of the regenerated table are *measured* by
+running our implementations; the ``MLF``/``FPH``/``HML`` columns are
+reference data from the paper (those systems are third-party and were not
+implemented by the paper's authors either; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.env import Environment
+from repro.core.terms import Term
+from repro.syntax.parser import parse_term, parse_type
+from repro.evalsuite.prelude import figure1_env
+
+SYSTEMS = ("GI", "MLF", "HMF", "FPH", "HML")
+
+
+@dataclass(frozen=True)
+class Example:
+    """One row of Figure 2."""
+
+    key: str
+    source: str
+    expected: dict[str, bool]
+    """Paper verdict per system (True = ✓)."""
+
+    gi_type: str | None = None
+    """The type the paper says GI infers, when stated."""
+
+    note: str = ""
+
+    @property
+    def term(self) -> Term:
+        return parse_term(self.source)
+
+    @property
+    def group(self) -> str:
+        return self.key[0]
+
+
+def _row(key: str, source: str, verdicts: str, gi_type: str | None = None, note: str = "") -> Example:
+    """``verdicts`` is five characters, ``y``/``n``, in SYSTEMS order."""
+    expected = {system: flag == "y" for system, flag in zip(SYSTEMS, verdicts)}
+    return Example(key, source, expected, gi_type, note)
+
+
+FIGURE2: tuple[Example, ...] = (
+    # A — polymorphic instantiation
+    _row("A1", r"\x y -> y", "yyyyy", gi_type="forall a b. a -> b -> b",
+         note="MLF infers (b ⩾ ∀c. c → c) ⇒ a → b; GI infers a → b → b"),
+    _row("A2", "choose id", "yyyyy", gi_type="forall a. (a -> a) -> a -> a",
+         note="FPH, HMF and GI infer (a → a) → a → a"),
+    _row("A3", "choose [] ids", "yyyyy", gi_type="[forall a. a -> a]"),
+    _row("A4", r"\(x :: forall a. a -> a) -> x x", "yyyyy",
+         gi_type="forall b. (forall a. a -> a) -> b -> b",
+         note="MLF infers (∀a.a→a)→(∀a.a→a); GI infers (∀a.a→a)→b→b"),
+    _row("A5", "id auto", "yyyyy",
+         gi_type="(forall a. a -> a) -> (forall a. a -> a)"),
+    _row("A6", "id auto'", "yyyyy",
+         gi_type="forall b. (forall a. a -> a) -> b -> b"),
+    _row("A7", "choose id auto", "yynny",
+         gi_type="(forall a. a -> a) -> (forall a. a -> a)"),
+    _row("A8", "choose id auto'", "nynny",
+         note="GI needs an annotation on id :: (∀a.a→a) → (∀a.a→a)"),
+    _row("A9", "f (choose id) ids", "nynyy",
+         note="f :: ∀a. (a → a) → [a] → a; GI needs an annotation on id"),
+    _row("A10", "poly id", "yyyyy"),
+    _row("A11", r"poly (\x -> x)", "yyyyy"),
+    _row("A12", r"id poly (\x -> x)", "yyyyy", gi_type="(Int, Bool)"),
+    # B — inference of polymorphic arguments
+    _row("B1", r"\f -> (f 1, f True)", "nnnnn",
+         note="all systems require an annotation on f :: ∀a. a → a"),
+    _row("B2", r"\xs -> poly (head xs)", "nynnn",
+         note="all systems except MLF require annotated xs :: [∀a. a → a]"),
+    # C — functions on polymorphic lists
+    _row("C1", "length ids", "yyyyy", gi_type="Int"),
+    _row("C2", "tail ids", "yyyyy", gi_type="[forall a. a -> a]"),
+    _row("C3", "head ids", "yyyyy", gi_type="forall a. a -> a"),
+    _row("C4", "single id", "yyyyy", gi_type="forall a. [a -> a]"),
+    _row("C5", "id : ids", "yynyy", gi_type="[forall a. a -> a]"),
+    _row("C6", r"(\x -> x) : ids", "yynyy", gi_type="[forall a. a -> a]"),
+    _row("C7", "single inc ++ single id", "yyyyy", gi_type="[Int -> Int]"),
+    _row("C8", "g (single id) ids", "nynyy",
+         note="g :: ∀a. [a] → [a] → a; GI needs single id :: [∀a. a → a]"),
+    _row("C9", "map poly (single id)", "nyyyy",
+         note="GI needs an annotation single id :: [∀a. a → a]"),
+    _row("C10", "map head (single ids)", "yyyyy", gi_type="[forall a. a -> a]"),
+    # D — application functions
+    _row("D1", "app poly id", "yyyyy", gi_type="(Int, Bool)"),
+    _row("D2", "revapp id poly", "yyyyy", gi_type="(Int, Bool)"),
+    _row("D3", "runST argST", "yyyyy", gi_type="Int"),
+    _row("D4", "app runST argST", "yyyyy", gi_type="Int"),
+    _row("D5", "revapp argST runST", "yyyyy", gi_type="Int"),
+    # E — η-expansion
+    _row("E1", "k h lst", "nnnnn",
+         note="h :: Int → ∀a. a → a; k :: ∀a. a → [a] → a; lst :: [∀a. Int → a → a]"),
+    _row("E2", r"k (\x -> h x) lst", "yynyy", gi_type="forall a. Int -> a -> a"),
+    _row("E3", r"r (\x y -> y)", "nynnn",
+         note="r :: (∀a. a → ∀b. b → b) → Int"),
+)
+
+BY_KEY: dict[str, Example] = {example.key: example for example in FIGURE2}
+
+# Annotated repairs for rows GI rejects (where a valid System F typing
+# exists).  Used by tests to check each suggested fix really works.
+#
+# Note on A8/A9: the paper's footnote says "GI needs an annotation on
+# id :: (∀a.a→a) → (∀a.a→a) in the previous two examples".  For A9 the
+# repair works once the annotation is placed on the partial application
+# ``choose id`` (an un-annotated nullary ``auto'``/``choose id`` can only
+# instantiate its own quantifier monomorphically).  For A8 *no* annotation
+# can help: ``choose id auto'`` demands a single type σ with
+# ``σ→σ ~ (∀a.a→a)→(τ→τ)``, i.e. ``∀a.a→a = τ→τ`` — unsatisfiable with
+# invariant constructors in plain System F types.  Only MLF and HML accept
+# A8 (via bounded/flexible quantification), exactly as Figure 2 reports;
+# there is nothing to repair inside GI.  EXPERIMENTS.md records this.
+REPAIRS: dict[str, str] = {
+    "A9": "f (choose id :: (forall a. a -> a) -> (forall a. a -> a)) ids",
+    "B1": r"\(f :: forall a. a -> a) -> (f 1, f True)",
+    "B2": r"\(xs :: [forall a. a -> a]) -> poly (head xs)",
+    "C8": "g (single id :: [forall a. a -> a]) ids",
+    "C9": "map poly (single id :: [forall a. a -> a])",
+    "E1": r"k (\x -> h x) lst",
+}
+
+
+def figure2_env() -> Environment:
+    """The environment the Figure 2 examples are typed in."""
+    env = figure1_env()
+    return env.extended("$", parse_type("forall a b. (a -> b) -> a -> b"))

@@ -1,0 +1,112 @@
+"""The standard environment of Figure 1 (plus Figure 2's extra bindings).
+
+Every function used by the paper's examples, with exactly the signatures
+given in Figure 1 and in the footnotes of Figure 2.  List constructors are
+bound under the spellings ``nil`` / ``cons`` (and ``single`` etc.); the
+parser's ``[]`` / ``:`` sugar resolves to these names.
+"""
+
+from __future__ import annotations
+
+from repro.core.env import DataCon, Environment
+from repro.core.types import (
+    BOOL,
+    CHAR,
+    INT,
+    TCon,
+    TVar,
+    Type,
+    forall,
+    fun,
+    list_of,
+    tuple_of,
+)
+
+_a = TVar("a")
+_b = TVar("b")
+_c = TVar("c")
+_p = TVar("p")
+_q = TVar("q")
+_s = TVar("s")
+_v = TVar("v")
+
+ID_TYPE: Type = forall(["a"], fun(_a, _a))
+"""``∀a. a → a`` — the type that impredicativity examples revolve around."""
+
+
+def ST(state: Type, value: Type) -> Type:
+    """The ``ST s v`` constructor of the runST example."""
+    return TCon("ST", (state, value))
+
+
+def figure1_env() -> Environment:
+    """The environment of Figure 1, extended with Figure 2's helpers."""
+    bindings: dict[str, Type] = {
+        # Lists.
+        "head": forall(["p"], fun(list_of(_p), _p)),
+        "tail": forall(["p"], fun(list_of(_p), list_of(_p))),
+        "nil": forall(["p"], list_of(_p)),
+        "cons": forall(["p"], fun(_p, list_of(_p), list_of(_p))),
+        "single": forall(["p"], fun(_p, list_of(_p))),
+        "append": forall(["p"], fun(list_of(_p), list_of(_p), list_of(_p))),
+        "length": forall(["p"], fun(list_of(_p), INT)),
+        # Functions.
+        "id": ID_TYPE,
+        "inc": fun(INT, INT),
+        "choose": forall(["a"], fun(_a, _a, _a)),
+        "poly": fun(ID_TYPE, tuple_of(INT, BOOL)),
+        "auto": fun(ID_TYPE, ID_TYPE),
+        "auto'": forall(["b"], fun(ID_TYPE, _b, _b)),
+        "ids": list_of(ID_TYPE),
+        "map": forall(["p", "q"], fun(fun(_p, _q), list_of(_p), list_of(_q))),
+        "app": forall(["a", "b"], fun(fun(_a, _b), _a, _b)),
+        "revapp": forall(["a", "b"], fun(_a, fun(_a, _b), _b)),
+        "flip": forall(["a", "b", "c"], fun(fun(_a, _b, _c), _b, _a, _c)),
+        "runST": forall(["v"], fun(forall(["s"], ST(_s, _v)), _v)),
+        "argST": forall(["s"], ST(_s, INT)),
+        # Figure 2 footnote helpers.
+        #   A9:  f :: ∀a. (a → a) → [a] → a
+        "f": forall(["a"], fun(fun(_a, _a), list_of(_a), _a)),
+        #   C8:  g :: ∀a. [a] → [a] → a
+        "g": forall(["a"], fun(list_of(_a), list_of(_a), _a)),
+        #   E:   h :: Int → ∀a. a → a
+        "h": fun(INT, forall(["a"], fun(_a, _a))),
+        #   E:   k :: ∀a. a → [a] → a
+        "k": forall(["a"], fun(_a, list_of(_a), _a)),
+        #   E:   lst :: [∀a. Int → a → a]
+        "lst": list_of(forall(["a"], fun(INT, _a, _a))),
+        #   E3:  r :: (∀a. a → ∀b. b → b) → Int
+        "r": fun(forall(["a"], fun(_a, forall(["b"], fun(_b, _b)))), INT),
+        # Section 2.3's g, renamed to avoid clashing with C8's g:
+        #   g23 :: ((∀a. a → a) → (Char, Bool)) → Int
+        "g23": fun(fun(ID_TYPE, tuple_of(CHAR, BOOL)), INT),
+        # Misc literals-as-functions used around the paper.
+        "not": fun(BOOL, BOOL),
+        "even": fun(INT, BOOL),
+        "plus": fun(INT, INT, INT),
+        "fst": forall(["a", "b"], fun(tuple_of(_a, _b), _a)),
+        "snd": forall(["a", "b"], fun(tuple_of(_a, _b), _b)),
+        "pair": forall(["a", "b"], fun(_a, _b, tuple_of(_a, _b))),
+        "const": forall(["a", "b"], fun(_a, _b, _a)),
+        "undefined": forall(["a"], _a),
+    }
+    env = Environment(bindings)
+    # Data constructors for case expressions over lists, pairs and Maybe.
+    env = env.with_datacon(
+        DataCon("Nil", ("p",), (), (), "[]")
+    ).with_datacon(
+        DataCon("Cons", ("p",), (), (TVar("p"), list_of(TVar("p"))), "[]")
+    ).with_datacon(
+        DataCon("Pair", ("a", "b"), (), (TVar("a"), TVar("b")), "(,)")
+    ).with_datacon(
+        DataCon("Nothing", ("a",), (), (), "Maybe")
+    ).with_datacon(
+        DataCon("Just", ("a",), (), (TVar("a"),), "Maybe")
+    )
+    env = env.extended_many(
+        {
+            "Nothing": forall(["a"], TCon("Maybe", (_a,))),
+            "Just": forall(["a"], fun(_a, TCon("Maybe", (_a,)))),
+        }
+    )
+    return env

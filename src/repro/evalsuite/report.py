@@ -1,0 +1,37 @@
+"""Plain-text table rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+CHECK = "✓"
+CROSS = "No"
+
+
+def mark(accepted: bool) -> str:
+    return CHECK if accepted else CROSS
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    normalized = [[str(cell) for cell in row] for row in rows]
+    for row in normalized:
+        if len(row) != columns:
+            raise ValueError("row width does not match header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in normalized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

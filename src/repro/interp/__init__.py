@@ -1,0 +1,23 @@
+"""Call-by-value interpreter for the source language."""
+
+from repro.interp.machine import (
+    DataValue,
+    Env,
+    EvalError,
+    evaluate,
+    from_python,
+    prelude_env,
+    run,
+    to_python,
+)
+
+__all__ = [
+    "DataValue",
+    "Env",
+    "EvalError",
+    "evaluate",
+    "from_python",
+    "prelude_env",
+    "run",
+    "to_python",
+]

@@ -1,0 +1,7 @@
+"""Surface syntax: lexer, parser and pretty printer."""
+
+from repro.syntax.lexer import Token, tokenize
+from repro.syntax.parser import parse_term, parse_type
+from repro.syntax.pretty import pretty_term, pretty_type
+
+__all__ = ["Token", "tokenize", "parse_term", "parse_type", "pretty_term", "pretty_type"]

@@ -1,0 +1,86 @@
+"""Pretty printer for terms and types (inverse of the parser)."""
+
+from __future__ import annotations
+
+from repro.core.terms import (
+    Ann,
+    AnnLam,
+    App,
+    Case,
+    Lam,
+    Let,
+    Lit,
+    Term,
+    Var,
+)
+from repro.core.types import Type, render_type
+
+_ATOM, _APP, _TOP = 2, 1, 0
+
+# Applications of these prelude functions print back as the operators the
+# parser desugars them from.
+_INFIX = {"cons": ":", "append": "++", "$": "$"}
+
+
+def pretty_type(type_: Type) -> str:
+    """Render a type in surface syntax."""
+    return render_type(type_)
+
+
+def pretty_term(term: Term, precedence: int = _TOP) -> str:
+    """Render a term in surface syntax."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Lit):
+        if isinstance(term.value, bool):
+            return "True" if term.value else "False"
+        if isinstance(term.value, str) and len(term.value) == 1:
+            return f"'{term.value}'"
+        if isinstance(term.value, str):
+            return f'"{term.value}"'
+        return str(term.value)
+    if isinstance(term, App):
+        if (
+            isinstance(term.head, Var)
+            and term.head.name in _INFIX
+            and len(term.args) == 2
+        ):
+            symbol = _INFIX[term.head.name]
+            rendered = (
+                f"{pretty_term(term.args[0], _ATOM)} {symbol} "
+                f"{pretty_term(term.args[1], _APP)}"
+            )
+            return f"({rendered})" if precedence >= _APP else rendered
+        pieces = [pretty_term(term.head, _ATOM)]
+        pieces += [pretty_term(argument, _ATOM) for argument in term.args]
+        rendered = " ".join(pieces)
+        return f"({rendered})" if precedence >= _ATOM else rendered
+    if isinstance(term, (Lam, AnnLam)):
+        binders: list[str] = []
+        body: Term = term
+        while isinstance(body, (Lam, AnnLam)):
+            if isinstance(body, Lam):
+                binders.append(body.var)
+            else:
+                binders.append(f"({body.var} :: {pretty_type(body.annotation)})")
+            body = body.body
+        rendered = f"\\{' '.join(binders)} -> {pretty_term(body, _TOP)}"
+        return f"({rendered})" if precedence > _TOP else rendered
+    if isinstance(term, Ann):
+        return f"({pretty_term(term.expr, _TOP)} :: {pretty_type(term.annotation)})"
+    if isinstance(term, Let):
+        rendered = (
+            f"let {term.var} = {pretty_term(term.bound, _TOP)} "
+            f"in {pretty_term(term.body, _TOP)}"
+        )
+        return f"({rendered})" if precedence > _TOP else rendered
+    if isinstance(term, Case):
+        alts = " ; ".join(
+            f"{alt.constructor}"
+            + ("" if not alt.binders else " " + " ".join(alt.binders))
+            + f" -> {pretty_term(alt.rhs, _TOP)}"
+            for alt in term.alts
+        )
+        rendered = f"case {pretty_term(term.scrutinee, _TOP)} of {{ {alts} }}"
+        return f"({rendered})" if precedence > _TOP else rendered
+    raise TypeError(f"unknown term node: {term!r}")

@@ -1,0 +1,29 @@
+"""System F: target language of elaboration, checker, erasure, embedding."""
+
+from repro.systemf.ast import (
+    FAlt,
+    FApp,
+    FCase,
+    FLam,
+    FLet,
+    FLit,
+    FTerm,
+    FTyApp,
+    FTyLam,
+    FVar,
+    fapp,
+    ftyapp,
+    ftylam,
+)
+from repro.systemf.check import FChecker, typecheck
+from repro.systemf.elaborate import Elaborator, elaborate_result
+from repro.systemf.embed import Embedder, embed
+from repro.systemf.erase import erase
+from repro.systemf.pretty import pretty_fterm
+
+__all__ = [
+    "FAlt", "FApp", "FCase", "FLam", "FLet", "FLit", "FTerm", "FTyApp",
+    "FTyLam", "FVar", "fapp", "ftyapp", "ftylam",
+    "FChecker", "typecheck", "Elaborator", "elaborate_result",
+    "Embedder", "embed", "erase", "pretty_fterm",
+]

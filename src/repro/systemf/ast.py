@@ -1,0 +1,144 @@
+"""System F term syntax (the elaboration target, Figures 15–16).
+
+System F types are the same grammar as GI types (:mod:`repro.core.types`)
+restricted to contain no unification variables; the checker enforces this.
+
+Terms::
+
+    eF ::= x | λ(x :: σ). eF | Λ ā. eF | eF eF | eF σ | literal
+         | let x :: σ = e1 in e2
+         | case eF of { K b̄ (x :: σ) ... -> eF ; ... }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import Type
+
+
+@dataclass(frozen=True)
+class FTerm:
+    """Base class of System F term forms."""
+
+    def __str__(self) -> str:
+        from repro.systemf.pretty import pretty_fterm
+
+        return pretty_fterm(self)
+
+
+@dataclass(frozen=True)
+class FVar(FTerm):
+    name: str
+
+
+@dataclass(frozen=True)
+class FLit(FTerm):
+    value: object
+
+
+@dataclass(frozen=True)
+class FLam(FTerm):
+    """``λ(x :: σ). e`` — System F lambdas are always annotated."""
+
+    var: str
+    annotation: Type
+    body: FTerm
+
+
+@dataclass(frozen=True)
+class FTyLam(FTerm):
+    """``Λ a1 ... an. e`` — type abstraction."""
+
+    binders: tuple[str, ...]
+    body: FTerm
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.binders, tuple):
+            object.__setattr__(self, "binders", tuple(self.binders))
+
+
+@dataclass(frozen=True)
+class FApp(FTerm):
+    """Term application (binary; System F needs no n-ary special casing)."""
+
+    fn: FTerm
+    arg: FTerm
+
+
+@dataclass(frozen=True)
+class FTyApp(FTerm):
+    """``e σ1 ... σn`` — type application."""
+
+    fn: FTerm
+    types: tuple[Type, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.types, tuple):
+            object.__setattr__(self, "types", tuple(self.types))
+
+
+@dataclass(frozen=True)
+class FLet(FTerm):
+    """``let x :: σ = e1 in e2`` (non-recursive)."""
+
+    var: str
+    annotation: Type
+    bound: FTerm
+    body: FTerm
+
+
+@dataclass(frozen=True)
+class FAlt:
+    """One case alternative with explicit existential binders."""
+
+    constructor: str
+    type_binders: tuple[str, ...]
+    binders: tuple[str, ...]
+    rhs: FTerm
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.type_binders, tuple):
+            object.__setattr__(self, "type_binders", tuple(self.type_binders))
+        if not isinstance(self.binders, tuple):
+            object.__setattr__(self, "binders", tuple(self.binders))
+
+
+@dataclass(frozen=True)
+class FCase(FTerm):
+    """``case e of { alts }`` over a known data type."""
+
+    scrutinee: FTerm
+    alts: tuple[FAlt, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.alts, tuple):
+            object.__setattr__(self, "alts", tuple(self.alts))
+
+
+def fapp(fn: FTerm, *arguments: FTerm) -> FTerm:
+    """Left-nested term application."""
+    result = fn
+    for argument in arguments:
+        result = FApp(result, argument)
+    return result
+
+
+def ftyapp(fn: FTerm, types) -> FTerm:
+    """Type application, collapsing empty lists."""
+    types = tuple(types)
+    if not types:
+        return fn
+    if isinstance(fn, FTyApp):
+        return FTyApp(fn.fn, fn.types + types)
+    return FTyApp(fn, types)
+
+
+def ftylam(binders, body: FTerm) -> FTerm:
+    """Type abstraction, collapsing empty binder lists."""
+    binders = tuple(binders)
+    if not binders:
+        return body
+    if isinstance(body, FTyLam):
+        return FTyLam(binders + body.binders, body.body)
+    return FTyLam(binders, body)

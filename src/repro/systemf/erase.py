@@ -1,0 +1,48 @@
+"""Type erasure: System F terms back to untyped source terms.
+
+Erasing an elaborated program and the original source program yields
+β-equivalent terms, so the interpreter (:mod:`repro.interp`) can be used
+to confirm that elaboration preserves runtime behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Case, CaseAlt, Lam, Let, Lit, Term, Var, app
+from repro.systemf.ast import (
+    FApp,
+    FCase,
+    FLam,
+    FLet,
+    FLit,
+    FTerm,
+    FTyApp,
+    FTyLam,
+    FVar,
+)
+
+
+def erase(term: FTerm) -> Term:
+    """Drop all type abstractions, type applications and annotations."""
+    if isinstance(term, FVar):
+        return Var(term.name)
+    if isinstance(term, FLit):
+        return Lit(term.value)
+    if isinstance(term, FLam):
+        return Lam(term.var, erase(term.body))
+    if isinstance(term, FTyLam):
+        return erase(term.body)
+    if isinstance(term, FApp):
+        return app(erase(term.fn), erase(term.arg))
+    if isinstance(term, FTyApp):
+        return erase(term.fn)
+    if isinstance(term, FLet):
+        return Let(term.var, erase(term.bound), erase(term.body))
+    if isinstance(term, FCase):
+        return Case(
+            erase(term.scrutinee),
+            tuple(
+                CaseAlt(alt.constructor, alt.binders, erase(alt.rhs))
+                for alt in term.alts
+            ),
+        )
+    raise TypeError(f"unknown System F term: {term!r}")

@@ -1,0 +1,63 @@
+"""Pretty printer for System F terms."""
+
+from __future__ import annotations
+
+from repro.core.types import render_type
+from repro.systemf.ast import (
+    FApp,
+    FCase,
+    FLam,
+    FLet,
+    FLit,
+    FTerm,
+    FTyApp,
+    FTyLam,
+    FVar,
+)
+
+_ATOM, _TOP = 1, 0
+
+
+def pretty_fterm(term: FTerm, precedence: int = _TOP) -> str:
+    """Render a System F term with explicit type abstractions/applications."""
+    if isinstance(term, FVar):
+        return term.name
+    if isinstance(term, FLit):
+        if isinstance(term.value, bool):
+            return "True" if term.value else "False"
+        if isinstance(term.value, str) and len(term.value) == 1:
+            return f"'{term.value}'"
+        return str(term.value)
+    if isinstance(term, FLam):
+        rendered = (
+            f"\\({term.var} :: {render_type(term.annotation)}) -> "
+            f"{pretty_fterm(term.body, _TOP)}"
+        )
+        return f"({rendered})" if precedence > _TOP else rendered
+    if isinstance(term, FTyLam):
+        rendered = f"/\\{' '.join(term.binders)} -> {pretty_fterm(term.body, _TOP)}"
+        return f"({rendered})" if precedence > _TOP else rendered
+    if isinstance(term, FApp):
+        rendered = f"{pretty_fterm(term.fn, _ATOM)} {pretty_fterm(term.arg, _ATOM)}"
+        return f"({rendered})" if precedence >= _ATOM else rendered
+    if isinstance(term, FTyApp):
+        types = " ".join(f"@({render_type(t)})" for t in term.types)
+        rendered = f"{pretty_fterm(term.fn, _ATOM)} {types}"
+        return f"({rendered})" if precedence >= _ATOM else rendered
+    if isinstance(term, FLet):
+        rendered = (
+            f"let {term.var} :: {render_type(term.annotation)} = "
+            f"{pretty_fterm(term.bound, _TOP)} in {pretty_fterm(term.body, _TOP)}"
+        )
+        return f"({rendered})" if precedence > _TOP else rendered
+    if isinstance(term, FCase):
+        alts = " ; ".join(
+            alt.constructor
+            + "".join(f" @{b}" for b in alt.type_binders)
+            + "".join(f" {b}" for b in alt.binders)
+            + f" -> {pretty_fterm(alt.rhs, _TOP)}"
+            for alt in term.alts
+        )
+        rendered = f"case {pretty_fterm(term.scrutinee, _TOP)} of {{ {alts} }}"
+        return f"({rendered})" if precedence > _TOP else rendered
+    raise TypeError(f"unknown System F term: {term!r}")

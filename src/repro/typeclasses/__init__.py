@@ -1,0 +1,5 @@
+"""Type classes (Appendix B): class tables, instances, qualified types."""
+
+from repro.typeclasses.classes import ClassTable, standard_instances
+
+__all__ = ["ClassTable", "standard_instances"]

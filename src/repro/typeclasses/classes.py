@@ -1,0 +1,96 @@
+"""Type classes for GI — the Appendix B extension, public API.
+
+The heavy lifting lives in the constraint solver
+(:mod:`repro.core.solver`): class constraints are *simple constraints*
+``Q`` carried in type contexts (``∀ā. Q ⇒ µ``, :class:`repro.core.types.
+Pred`), emitted as wanted :class:`repro.core.constraints.ClassC`
+constraints at instantiation sites, discharged against local givens
+(implication constraints, rule interact/dupl of Figure 14) or the
+instance table, and quantified into inferred types when residual.
+
+This module provides the user-facing vocabulary: declaring classes and
+instances with surface-syntax types, and a standard instance set for the
+built-in types (``Eq``, ``Ord``, ``Show`` over Int/Bool/Char, lists and
+pairs).
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import ClassC
+from repro.core.solver import InstanceEnv
+from repro.core.types import Pred, TVar, Type
+from repro.syntax.parser import parse_type
+
+
+class ClassTable:
+    """A friendlier wrapper around :class:`InstanceEnv`.
+
+    Example::
+
+        table = ClassTable()
+        table.declare("Eq")
+        table.instance("Eq Int")
+        table.instance("Eq [a]", given=["Eq a"])
+    """
+
+    def __init__(self) -> None:
+        self.instances = InstanceEnv()
+        self._classes: dict[str, int] = {}
+
+    def declare(self, name: str, arity: int = 1) -> "ClassTable":
+        """Declare a class (``arity`` type parameters)."""
+        self._classes[name] = arity
+        self.instances.declare_class(name, arity)
+        return self
+
+    def instance(self, head: str, given: list[str] | None = None) -> "ClassTable":
+        """Register an instance, e.g. ``instance("Eq [a]", given=["Eq a"])``.
+
+        Lower-case type variables in the head are implicitly quantified.
+        """
+        head_pred = _parse_predicate(head)
+        context = tuple(_parse_predicate(g) for g in (given or []))
+        variables = set()
+        for argument in head_pred.args:
+            variables |= _type_variables(argument)
+        self.instances.add_instance(
+            ClassC(head_pred.class_name, head_pred.args),
+            tuple(ClassC(p.class_name, p.args) for p in context),
+            tuple(sorted(variables)),
+        )
+        return self
+
+    def env(self) -> InstanceEnv:
+        """The instance environment to hand to an :class:`Inferencer`."""
+        return self.instances
+
+
+def _parse_predicate(source: str) -> Pred:
+    """Parse ``"Eq [a]"`` as a predicate by piggybacking on the type
+    parser (a predicate is syntactically a constructor application)."""
+    type_ = parse_type(source)
+    from repro.core.types import TCon
+
+    if not isinstance(type_, TCon) or not type_.args:
+        raise ValueError(f"not a class predicate: {source!r}")
+    return Pred(type_.name, type_.args)
+
+
+def _type_variables(type_: Type) -> set[str]:
+    from repro.core.types import ftv
+
+    return ftv(type_)
+
+
+def standard_instances() -> InstanceEnv:
+    """``Eq``/``Ord``/``Show`` over the built-in types, lists and pairs."""
+    table = ClassTable()
+    table.declare("Eq").declare("Ord").declare("Show")
+    for ground in ("Int", "Bool", "Char", "String"):
+        table.instance(f"Eq {ground}")
+        table.instance(f"Ord {ground}")
+        table.instance(f"Show {ground}")
+    for klass in ("Eq", "Ord", "Show"):
+        table.instance(f"{klass} [a]", given=[f"{klass} a"])
+        table.instance(f"{klass} (a, b)", given=[f"{klass} a", f"{klass} b"])
+    return table.env()

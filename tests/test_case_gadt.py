@@ -1,0 +1,162 @@
+"""Pattern matching (Appendix A) and existential/GADT-style constructors."""
+
+import pytest
+
+from repro.core import Environment, Inferencer
+from repro.core.env import DataCon
+from repro.core.errors import GIError, SkolemEscapeError, UnificationError
+from repro.core.types import BOOL, INT, TCon, TVar, forall, fun, list_of
+from repro.syntax import parse_term, parse_type
+from repro.evalsuite.figure2 import figure2_env
+
+
+@pytest.fixture(scope="module")
+def gi():
+    return Inferencer(figure2_env())
+
+
+class TestPlainCase:
+    def test_list_case(self, gi):
+        result = gi.infer(
+            parse_term("case [1, 2] of { Cons x xs -> x ; Nil -> 0 }")
+        )
+        assert str(result.type_) == "Int"
+
+    def test_maybe_case(self, gi):
+        result = gi.infer(
+            parse_term("case Just True of { Just b -> b ; Nothing -> False }")
+        )
+        assert str(result.type_) == "Bool"
+
+    def test_branch_types_must_agree(self, gi):
+        with pytest.raises(GIError):
+            gi.infer(parse_term("case Just 1 of { Just x -> x ; Nothing -> True }"))
+
+    def test_scrutinee_must_match_constructor(self, gi):
+        with pytest.raises(GIError):
+            gi.infer(parse_term("case 1 of { Just x -> x ; Nothing -> 2 }"))
+
+    def test_wrong_arity_pattern(self, gi):
+        with pytest.raises(GIError):
+            gi.infer(parse_term("case Just 1 of { Just x y -> x ; Nothing -> 2 }"))
+
+    def test_mixed_constructors_rejected(self, gi):
+        with pytest.raises(GIError):
+            gi.infer(parse_term("case Just 1 of { Just x -> x ; Nil -> 2 }"))
+
+    def test_case_on_polymorphic_list(self, gi):
+        # The paper's point: matching on [∀a.a→a] keeps the elements
+        # polymorphic in the branch.
+        result = gi.infer(
+            parse_term("case ids of { Cons f fs -> f 1 ; Nil -> 0 }")
+        )
+        assert str(result.type_) == "Int"
+
+    def test_polymorphic_element_used_at_two_types(self, gi):
+        result = gi.infer(
+            parse_term(
+                "case ids of { Cons f fs -> pair (f 1) (f True) ; Nil -> (0, False) }"
+            )
+        )
+        assert str(result.type_) == "(Int, Bool)"
+
+    def test_case_result_can_feed_application(self, gi):
+        result = gi.infer(
+            parse_term("inc (case Just 1 of { Just x -> x ; Nothing -> 0 })")
+        )
+        assert str(result.type_) == "Int"
+
+
+def _existential_env() -> Environment:
+    """data Box = forall b. MkBox b ([b] -> Int)"""
+    env = figure2_env()
+    b = TVar("b")
+    env = env.with_datacon(
+        DataCon(
+            "MkBox",
+            universals=(),
+            existentials=("b",),
+            fields=(b, fun(list_of(b), INT)),
+            result_con="Box",
+        )
+    )
+    return env.extended(
+        "box", parse_type("Box")
+    ).extended(
+        "mkBox", parse_type("forall b. b -> ([b] -> Int) -> Box")
+    )
+
+
+class TestExistentials:
+    def test_existential_use_inside_branch(self):
+        gi = Inferencer(_existential_env())
+        result = gi.infer(
+            parse_term("case box of { MkBox x f -> f (single x) }")
+        )
+        assert str(result.type_) == "Int"
+
+    def test_existential_escape_rejected(self):
+        gi = Inferencer(_existential_env())
+        with pytest.raises(GIError):
+            gi.infer(parse_term("case box of { MkBox x f -> x }"))
+
+    def test_existential_escape_via_list(self):
+        gi = Inferencer(_existential_env())
+        with pytest.raises(GIError):
+            gi.infer(parse_term("case box of { MkBox x f -> single x }"))
+
+
+def _gadt_env() -> Environment:
+    """A GADT-flavoured expression type:
+
+        data Expr a where
+          IntLit  :: Int  -> Expr Int
+          BoolLit :: Bool -> Expr Bool
+
+    encoded with local equality givens on the constructors.
+    """
+    env = figure2_env()
+    a = TVar("a")
+    env = env.with_datacon(
+        DataCon(
+            "IntLit",
+            universals=("a",),
+            existentials=(),
+            fields=(INT,),
+            result_con="Expr",
+            givens=((a, INT),),
+        )
+    ).with_datacon(
+        DataCon(
+            "BoolLit",
+            universals=("a",),
+            existentials=(),
+            fields=(BOOL,),
+            result_con="Expr",
+            givens=((a, BOOL),),
+        )
+    )
+    return env.extended_many(
+        {
+            "intLit": parse_type("Int -> Expr Int"),
+            "boolLit": parse_type("Bool -> Expr Bool"),
+            "anExpr": parse_type("Expr Int"),
+        }
+    )
+
+
+class TestGADTs:
+    def test_refinement_in_branch(self):
+        # Inside the IntLit branch, a ~ Int is assumed, so the payload
+        # can be used at Int.
+        gi = Inferencer(_gadt_env())
+        result = gi.infer(
+            parse_term(
+                "case anExpr of { IntLit n -> inc n ; BoolLit b -> 0 }"
+            )
+        )
+        assert str(result.type_) == "Int"
+
+    def test_construction(self):
+        gi = Inferencer(_gadt_env())
+        assert str(gi.infer(parse_term("intLit 1")).type_) == "Expr Int"

@@ -1,0 +1,107 @@
+"""Tests for the guardedness classification ``▷`` (Figures 4–5) — the
+Instantiation Rule of Section 2.1 made executable."""
+
+from repro.core.classify import Bit, classified_binders, classify, classify_argument
+from repro.core.sorts import Sort
+from repro.core.types import INT, TVar, forall, fun, list_of
+from repro.syntax import parse_type
+
+A, B, C = TVar("a"), TVar("b"), TVar("c")
+GEN, STAR = Bit.GEN, Bit.STAR
+
+
+def binder_sorts(source: str, sort: Sort, bits) -> dict:
+    return dict(classified_binders(parse_type(source), sort, bits))
+
+
+class TestClassifyArgument:
+    def test_naked_variable_is_t(self):
+        assert classify_argument(A) == {"a": Sort.T}
+
+    def test_guarded_under_list_is_u(self):
+        assert classify_argument(list_of(A)) == {"a": Sort.U}
+
+    def test_guarded_under_arrow_is_u(self):
+        # The function arrow is an ordinary constructor for guardedness.
+        assert classify_argument(fun(A, B)) == {"a": Sort.U, "b": Sort.U}
+
+    def test_forall_strips_binders(self):
+        assert classify_argument(forall(["a"], fun(A, B))) == {"b": Sort.U}
+
+    def test_no_variables(self):
+        assert classify_argument(INT) == {}
+
+
+class TestClassify:
+    def test_result_only_gets_s(self):
+        # single :: ∀a. a → [a], one argument: a naked in arg ⇒ t.
+        assert binder_sorts("forall a. a -> [a]", Sort.M, [GEN]) == {"a": Sort.T}
+
+    def test_map_both_guarded(self):
+        sorts = binder_sorts(
+            "forall p q. (p -> q) -> [p] -> [q]", Sort.M, [GEN, GEN]
+        )
+        assert sorts == {"p": Sort.U, "q": Sort.U}
+
+    def test_partial_application_limits_guardedness(self):
+        # ((:) id): only one argument given, so a is only naked (arg 1).
+        sorts = binder_sorts("forall a. a -> [a] -> [a]", Sort.M, [GEN])
+        assert sorts == {"a": Sort.T}
+
+    def test_full_application_enables_guardedness(self):
+        sorts = binder_sorts("forall a. a -> [a] -> [a]", Sort.M, [GEN, GEN])
+        assert sorts == {"a": Sort.U}
+
+    def test_nullary_is_fully_monomorphic(self):
+        # A lone variable instantiates fully monomorphically (Section 2.2).
+        assert binder_sorts("forall a. a -> a", Sort.M, []) == {"a": Sort.M}
+
+    def test_nullary_annotated_is_unrestricted(self):
+        # ...unless annotated: AnnApp classifies the result at sort u.
+        assert binder_sorts("forall a. a -> a", Sort.U, []) == {"a": Sort.U}
+
+    def test_choose_one_arg(self):
+        assert binder_sorts("forall a. a -> a -> a", Sort.M, [GEN]) == {"a": Sort.T}
+
+    def test_star_resets_naked_occurrences(self):
+        # choose [] []: both arguments ⋆ ⇒ a stays fully monomorphic.
+        assert binder_sorts("forall a. a -> a -> a", Sort.M, [STAR, STAR]) == {
+            "a": Sort.M
+        }
+
+    def test_star_plus_gen_keeps_t(self):
+        # choose [] ids: the • argument justifies top-level-monomorphism.
+        assert binder_sorts("forall a. a -> a -> a", Sort.M, [STAR, GEN]) == {
+            "a": Sort.T
+        }
+
+    def test_star_keeps_guarded_occurrences(self):
+        # map head (single ids): q occurs only under the ⋆ argument's
+        # arrow and in the result, and must still admit polymorphism (C10).
+        sorts = binder_sorts(
+            "forall p q. (p -> q) -> [p] -> [q]", Sort.M, [STAR, GEN]
+        )
+        assert sorts == {"p": Sort.U, "q": Sort.U}
+
+    def test_join_takes_most_permissive(self):
+        # a naked in arg1, guarded in arg2 ⇒ u wins.
+        sorts = binder_sorts("forall a. a -> [a] -> Int", Sort.M, [GEN, GEN])
+        assert sorts == {"a": Sort.U}
+
+    def test_too_many_arguments_maps_to_m(self):
+        # id applied to two arguments: classification survives, the arrow
+        # unification reports the error later.
+        sorts = binder_sorts("forall a. a -> a", Sort.M, [GEN, GEN])
+        assert sorts == {"a": Sort.T}
+
+    def test_nested_forall_in_argument(self):
+        sorts = binder_sorts(
+            "forall v. (forall s. ST s v) -> v", Sort.M, [GEN]
+        )
+        assert sorts == {"v": Sort.U}
+
+    def test_classify_ignores_uvar_heads(self):
+        from repro.core.sorts import Sort as S
+        from repro.core.types import UVar
+
+        assert classify(UVar("x", S.U), S.M, [GEN]) == {}

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_infer(self, capsys):
+        assert main(["infer", "head ids"]) == 0
+        assert capsys.readouterr().out.strip() == "forall a. a -> a"
+
+    def test_infer_rejection(self, capsys):
+        assert main(["infer", "k h lst"]) == 1
+        assert "type error" in capsys.readouterr().err
+
+    def test_check_ok(self, capsys):
+        assert main(["check", "single id", "[Int -> Int]"]) == 0
+        assert capsys.readouterr().out.strip() == "ok"
+
+    def test_check_fails(self, capsys):
+        assert main(["check", "single id", "[Int -> Bool]"]) == 1
+
+    def test_run(self, capsys):
+        assert main(["run", "runST $ argST"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_run_rejects_ill_typed(self, capsys):
+        assert main(["run", "inc True"]) == 1
+
+    def test_elaborate(self, capsys):
+        assert main(["elaborate", "head ids"]) == 0
+        output = capsys.readouterr().out
+        assert "term :" in output and "@(forall a. a -> a)" in output
+        assert "type :" in output
+
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        output = capsys.readouterr().out
+        assert "A1" in output and "32/32" in output
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

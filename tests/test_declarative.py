@@ -1,0 +1,132 @@
+"""Cross-validation of the solver against the declarative specification.
+
+Every instantiation the solver performs on the Figure 2 corpus (and a set
+of extra programs) must be derivable in the declarative ``⩽`` judgement
+of Figure 4, with the solver's recorded type arguments as the InstPoly
+witnesses — including the sort discipline of the guardedness
+classification.
+"""
+
+import pytest
+
+from repro.core import Inferencer
+from repro.core.classify import Bit
+from repro.core.declarative import check_instantiation, verify_inference
+from repro.core.sorts import Sort
+from repro.core.types import INT, TVar, forall, fun, list_of
+from repro.syntax import parse_term, parse_type
+from repro.evalsuite.figure2 import FIGURE2, figure2_env
+
+ENV = figure2_env()
+A = TVar("a")
+ID = forall(["a"], fun(A, A))
+
+
+class TestCheckInstantiation:
+    def test_mono(self):
+        assert check_instantiation(INT, Sort.M, (), (), INT, []) is None
+
+    def test_mono_mismatch(self):
+        reason = check_instantiation(INT, Sort.M, (), (), list_of(INT), [])
+        assert reason and "InstMono" in reason
+
+    def test_arrow(self):
+        sigma = fun(INT, INT)
+        assert (
+            check_instantiation(sigma, Sort.M, (Bit.GEN,), (INT,), INT, [])
+            is None
+        )
+
+    def test_arrow_wrong_argument(self):
+        sigma = fun(INT, INT)
+        reason = check_instantiation(
+            sigma, Sort.M, (Bit.GEN,), (list_of(INT),), INT, []
+        )
+        assert reason and "InstArrow" in reason
+
+    def test_poly_with_respecting_witness(self):
+        head_type = forall(["p"], fun(list_of(TVar("p")), TVar("p")))
+        # head instantiated at ∀a.a→a: p is guarded, so u is allowed.
+        assert (
+            check_instantiation(
+                head_type,
+                Sort.M,
+                (Bit.GEN,),
+                (list_of(ID),),
+                ID,
+                [[ID]],
+            )
+            is None
+        )
+
+    def test_poly_remainder_reinstantiates(self):
+        # head ids used at Bool: the ∀ remainder instantiates again
+        # (InstPoly applies to nested quantifiers too).
+        head_type = forall(["p"], fun(list_of(TVar("p")), TVar("p")))
+        assert (
+            check_instantiation(
+                head_type,
+                Sort.M,
+                (Bit.GEN, Bit.GEN),
+                (list_of(ID), INT),
+                INT,
+                [[ID], [INT]],
+            )
+            is None
+        )
+
+    def test_poly_with_violating_witness(self):
+        # single's p is naked in the argument: a ∀-headed witness is not
+        # derivable (this is what makes single id : ∀a.[a→a]).
+        single_type = forall(["p"], fun(TVar("p"), list_of(TVar("p"))))
+        reason = check_instantiation(
+            single_type,
+            Sort.M,
+            (Bit.GEN,),
+            (ID,),
+            list_of(ID),
+            [[ID]],
+        )
+        assert reason and "InstPoly" in reason
+
+    def test_missing_witness(self):
+        reason = check_instantiation(ID, Sort.M, (), (), INT, [])
+        assert reason and "witness" in reason
+
+    def test_nullary_must_be_monomorphic(self):
+        # A lone variable's witnesses must be fully monomorphic.
+        reason = check_instantiation(ID, Sort.M, (), (), fun(INT, INT), [[ID]])
+        assert reason and "InstPoly" in reason
+        assert (
+            check_instantiation(ID, Sort.M, (), (), fun(INT, INT), [[INT]])
+            is None
+        )
+
+
+@pytest.mark.parametrize(
+    "example", [ex for ex in FIGURE2 if ex.expected["GI"]], ids=lambda e: e.key
+)
+def test_solver_choices_are_derivable(example):
+    result = Inferencer(ENV).infer(example.term)
+    report = verify_inference(result)
+    assert report.checked > 0
+    assert report.ok, [
+        (str(f.constraint), f.reason) for f in report.failures
+    ]
+
+
+EXTRA = [
+    "let xs = id : ids in head xs",
+    "(single id :: [forall a. a -> a])",
+    r"\(f :: forall a. a -> a) -> (f 1, f True)",
+    "case ids of { Cons f fs -> f 1 ; Nil -> 0 }",
+    "head ids True",
+    "map head (single ids)",
+]
+
+
+@pytest.mark.parametrize("source", EXTRA, ids=lambda s: s[:30])
+def test_extra_programs_derivable(source):
+    result = Inferencer(ENV).infer(parse_term(source))
+    report = verify_inference(result)
+    assert report.ok, [(str(f.constraint), f.reason) for f in report.failures]

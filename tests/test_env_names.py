@@ -1,0 +1,115 @@
+"""Unit tests for environments, name supplies, and the prelude."""
+
+import pytest
+
+from repro.core.env import DataCon, Environment
+from repro.core.errors import ScopeError
+from repro.core.names import NameSupply, letters
+from repro.core.sorts import Sort
+from repro.core.types import INT, TVar, UVar, forall, fun, list_of
+from repro.evalsuite.prelude import figure1_env
+
+
+class TestEnvironment:
+    def test_lookup(self):
+        env = Environment({"x": INT})
+        assert env.lookup("x") == INT
+
+    def test_lookup_missing(self):
+        with pytest.raises(ScopeError):
+            Environment().lookup("x")
+
+    def test_extended_is_persistent(self):
+        env = Environment({"x": INT})
+        extended = env.extended("y", INT)
+        assert "y" in extended
+        assert "y" not in env
+
+    def test_extended_many(self):
+        env = Environment().extended_many({"a": INT, "b": INT})
+        assert "a" in env and "b" in env
+
+    def test_shadowing(self):
+        env = Environment({"x": INT}).extended("x", list_of(INT))
+        assert env.lookup("x") == list_of(INT)
+
+    def test_free_type_vars(self):
+        env = Environment({"x": fun(TVar("a"), TVar("b"))})
+        assert env.free_type_vars() == {"a", "b"}
+
+    def test_free_unification_vars(self):
+        alpha = UVar("u", Sort.M)
+        env = Environment({"x": alpha})
+        assert env.free_unification_vars() == {alpha}
+
+    def test_is_closed(self):
+        assert Environment({"x": forall(["a"], TVar("a"))}).is_closed()
+        assert not Environment({"x": TVar("a")}).is_closed()
+
+    def test_datacons(self):
+        con = DataCon("K", ("a",), (), (TVar("a"),), "T")
+        env = Environment().with_datacon(con)
+        assert env.lookup_datacon("K") is con
+        with pytest.raises(ScopeError):
+            env.lookup_datacon("Missing")
+
+    def test_len_and_items(self):
+        env = Environment({"x": INT, "y": INT})
+        assert len(env) == 2
+        assert dict(env.items()) == {"x": INT, "y": INT}
+
+
+class TestNameSupply:
+    def test_fresh_unique(self):
+        supply = NameSupply("t")
+        names = [supply.fresh() for _ in range(100)]
+        assert len(set(names)) == 100
+
+    def test_hint(self):
+        supply = NameSupply()
+        assert supply.fresh("foo").startswith("foo")
+
+    def test_hint_strips_digits(self):
+        supply = NameSupply()
+        name = supply.fresh("a12")
+        assert name.startswith("a") and not name.startswith("a12") or name[1].isdigit()
+
+    def test_fresh_many(self):
+        supply = NameSupply()
+        assert len(supply.fresh_many(5)) == 5
+
+    def test_letters(self):
+        stream = letters()
+        first = [next(stream) for _ in range(28)]
+        assert first[0] == "a" and first[25] == "z"
+        assert first[26] == "a1"
+
+
+class TestPrelude:
+    def test_every_figure1_binding_present(self):
+        env = figure1_env()
+        for name in (
+            "head", "tail", "nil", "cons", "single", "append", "length",
+            "id", "inc", "choose", "poly", "auto", "auto'", "ids", "map",
+            "app", "revapp", "flip", "runST", "argST",
+        ):
+            assert name in env, name
+
+    def test_figure2_helpers_present(self):
+        env = figure1_env()
+        for name in ("f", "g", "h", "k", "lst", "r", "g23"):
+            assert name in env, name
+
+    def test_prelude_is_closed(self):
+        assert figure1_env().is_closed()
+
+    def test_signatures_match_figure1(self):
+        env = figure1_env()
+        assert str(env.lookup("head")) == "forall p. [p] -> p"
+        assert str(env.lookup("ids")) == "[forall a. a -> a]"
+        assert str(env.lookup("runST")) == "forall v. (forall s. ST s v) -> v"
+        assert str(env.lookup("poly")) == "(forall a. a -> a) -> (Int, Bool)"
+        assert (
+            str(env.lookup("flip"))
+            == "forall a b c. (a -> b -> c) -> b -> a -> c"
+        )

@@ -1,0 +1,132 @@
+"""Unit tests for the evaluation-suite plumbing: report rendering,
+workload generators, the Figure 2 corpus metadata, and evidence store."""
+
+import pytest
+
+from repro.core import Inferencer
+from repro.core.evidence import EvidenceStore, GenEvidence, TakeArg, TypeArgs
+from repro.core.terms import term_size
+from repro.core.types import INT, UVar
+from repro.core.sorts import Sort
+from repro.evalsuite.figure2 import BY_KEY, FIGURE2, REPAIRS
+from repro.evalsuite.report import CHECK, CROSS, mark, render_table
+from repro.evalsuite.workloads import (
+    application_chain,
+    impredicative_pipeline,
+    lambda_tower,
+    let_chain,
+    mixed_program,
+    wide_application,
+)
+from repro.evalsuite.figure2 import figure2_env
+
+ENV = figure2_env()
+
+
+class TestReport:
+    def test_mark(self):
+        assert mark(True) == CHECK
+        assert mark(False) == CROSS
+
+    def test_render_alignment(self):
+        table = render_table(["a", "bbbb"], [["xx", "y"], ["z", "wwwww"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_render_title(self):
+        table = render_table(["h"], [["v"]], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestWorkloads:
+    def test_application_chain_size(self):
+        assert term_size(application_chain(10)) == 21
+
+    def test_all_workloads_typecheck(self):
+        gi = Inferencer(ENV)
+        for term in (
+            application_chain(5),
+            wide_application(4),
+            let_chain(5),
+            lambda_tower(4),
+            impredicative_pipeline(4),
+            mixed_program(5, seed=1),
+        ):
+            assert gi.accepts(term), term
+
+    def test_impredicative_pipeline_type(self):
+        gi = Inferencer(ENV)
+        result = gi.infer(impredicative_pipeline(3))
+        assert str(result.type_) == "[forall a. a -> a]"
+
+    def test_mixed_program_deterministic(self):
+        assert mixed_program(7, seed=3) == mixed_program(7, seed=3)
+
+    def test_let_chain_empty(self):
+        gi = Inferencer(ENV)
+        assert str(gi.infer(let_chain(0)).type_) == "Int"
+
+
+class TestFigure2Corpus:
+    def test_unique_keys(self):
+        keys = [ex.key for ex in FIGURE2]
+        assert len(keys) == len(set(keys))
+
+    def test_by_key_is_complete(self):
+        assert set(BY_KEY) == {ex.key for ex in FIGURE2}
+
+    def test_all_sources_parse(self):
+        for ex in FIGURE2:
+            assert ex.term is not None
+
+    def test_all_gi_types_parse(self):
+        from repro.syntax import parse_type
+
+        for ex in FIGURE2:
+            if ex.gi_type:
+                parse_type(ex.gi_type)
+
+    def test_repairs_target_rejected_rows(self):
+        for key in REPAIRS:
+            assert not BY_KEY[key].expected["GI"], key
+
+    def test_groups(self):
+        counts = {}
+        for ex in FIGURE2:
+            counts[ex.group] = counts.get(ex.group, 0) + 1
+        assert counts == {"A": 12, "B": 2, "C": 10, "D": 5, "E": 3}
+
+
+class TestEvidenceStore:
+    def test_zonk_applies_everywhere(self):
+        store = EvidenceStore()
+        alpha = UVar("x", Sort.M)
+        store.inst_trace(("p",)).extend([TypeArgs([alpha]), TakeArg()])
+        info = store.gen_info(("q",))
+        info.star_type_args = [alpha]
+        store.lam_binders[("r",)] = alpha
+        store.let_types[("s",)] = alpha
+        case = store.case_info(("t",))
+        case.tycon_args = [alpha]
+        case.field_types = [[alpha]]
+
+        store.zonk(lambda _t: INT)
+        assert store.inst_traces[("p",)][0].types == [INT]
+        assert store.gen_infos[("q",)].star_type_args == [INT]
+        assert store.lam_binders[("r",)] == INT
+        assert store.let_types[("s",)] == INT
+        assert store.case_infos[("t",)].tycon_args == [INT]
+        assert store.case_infos[("t",)].field_types == [[INT]]
+
+    def test_gen_info_is_memoised(self):
+        store = EvidenceStore()
+        assert store.gen_info(("a",)) is store.gen_info(("a",))
+
+    def test_default_gen_evidence(self):
+        info = GenEvidence()
+        assert not info.star and not info.skolems

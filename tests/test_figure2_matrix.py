@@ -1,0 +1,107 @@
+"""The full Figure 2 matrix: measured columns vs the paper's.
+
+* GI must match the paper's column on all 32 rows (also asserted
+  per-row in test_figure2; this file checks the aggregate and the
+  regenerated table).
+* Plain HMF must match the paper's HMF column everywhere except D2/D5 —
+  the two rows that need the delayed-argument extension the paper's §6
+  describes; HMF-N (with the extension) must accept those but flips
+  C5/C6/E2, exactly the examples the extension is documented to add.
+  Both deviations are *expected findings*, recorded in EXPERIMENTS.md.
+"""
+
+from repro.baselines import SYSTEMS
+from repro.evalsuite.figure2 import FIGURE2, figure2_env
+from repro.evalsuite.report import mark, render_table
+
+ENV = figure2_env()
+
+# Rows where our executable HMF variants are expected to differ from the
+# published column (see EXPERIMENTS.md for the analysis).
+HMF_PLAIN_KNOWN_DEVIATIONS = {"D2", "D5"}
+HMF_NARY_KNOWN_DEVIATIONS = {"C5", "C6", "E2"}
+
+
+def measured(system_name: str) -> dict[str, bool]:
+    system = SYSTEMS[system_name]
+    return {ex.key: system.accepts(ex.term, ENV) for ex in FIGURE2}
+
+
+def test_gi_matches_paper_everywhere():
+    results = measured("GI")
+    mismatches = [
+        ex.key for ex in FIGURE2 if results[ex.key] != ex.expected["GI"]
+    ]
+    assert not mismatches, f"GI disagrees with the paper on {mismatches}"
+
+
+def test_hmf_plain_deviations_are_exactly_the_known_ones():
+    results = measured("HMF")
+    deviations = {
+        ex.key for ex in FIGURE2 if results[ex.key] != ex.expected["HMF"]
+    }
+    assert deviations == HMF_PLAIN_KNOWN_DEVIATIONS, (
+        f"plain HMF deviations changed: {sorted(deviations)}"
+    )
+
+
+def test_hmf_nary_deviations_are_exactly_the_known_ones():
+    results = measured("HMF-N")
+    deviations = {
+        ex.key for ex in FIGURE2 if results[ex.key] != ex.expected["HMF"]
+    }
+    assert deviations == HMF_NARY_KNOWN_DEVIATIONS, (
+        f"n-ary HMF deviations changed: {sorted(deviations)}"
+    )
+
+
+def test_hmf_variants_union_covers_published_column():
+    """Every row the published column accepts is accepted by at least one
+    of the two HMF variants (the column mixes plain and extended
+    behaviour — a reproduction finding)."""
+    plain = measured("HMF")
+    nary = measured("HMF-N")
+    for ex in FIGURE2:
+        if ex.expected["HMF"]:
+            assert plain[ex.key] or nary[ex.key], ex.key
+
+
+def test_hm_accepts_only_rank1_rows():
+    results = measured("HM")
+    accepted = {key for key, ok in results.items() if ok}
+    # Exactly the classic Hindley-Milner rows of the corpus (C7 is HM
+    # typeable at [Int → Int], instantiating id monomorphically).
+    assert accepted == {"A1", "A2", "C4", "C7"}
+
+
+def test_rankn_is_between_hm_and_gi():
+    hm = measured("HM")
+    rankn = measured("RankN")
+    for ex in FIGURE2:
+        if hm[ex.key]:
+            assert rankn[ex.key], f"RankN rejects HM-typeable {ex.key}"
+
+
+def test_render_full_table():
+    """The regenerated Figure 2 renders without error and marks reference
+    columns as such."""
+    headers = ["id", "example", "GI*", "HMF*", "HMF-N*", "HM*", "RankN*",
+               "GI", "MLF", "HMF", "FPH", "HML"]
+    rows = []
+    cache = {name: measured(name) for name in ("GI", "HMF", "HMF-N", "HM", "RankN")}
+    for ex in FIGURE2:
+        rows.append(
+            [
+                ex.key,
+                ex.source[:30],
+                mark(cache["GI"][ex.key]),
+                mark(cache["HMF"][ex.key]),
+                mark(cache["HMF-N"][ex.key]),
+                mark(cache["HM"][ex.key]),
+                mark(cache["RankN"][ex.key]),
+            ]
+            + [mark(ex.expected[s]) for s in ("GI", "MLF", "HMF", "FPH", "HML")]
+        )
+    table = render_table(headers, rows, title="Figure 2 (measured* vs paper)")
+    assert "A1" in table and "E3" in table
+    assert table.count("\n") >= 33

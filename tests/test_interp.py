@@ -1,0 +1,103 @@
+"""Tests for the call-by-value interpreter."""
+
+import pytest
+
+from repro.interp import (
+    DataValue,
+    Env,
+    EvalError,
+    evaluate,
+    from_python,
+    prelude_env,
+    run,
+    to_python,
+)
+from repro.syntax import parse_term
+
+
+def result(source: str):
+    return run(parse_term(source))
+
+
+class TestEvaluation:
+    def test_literals(self):
+        assert result("42") == 42
+        assert result("True") is True
+
+    def test_lambda_application(self):
+        assert result(r"(\x -> x) 5") == 5
+
+    def test_multi_arg(self):
+        assert result(r"(\x y -> y) 1 2") == 2
+
+    def test_let(self):
+        assert result("let n = inc 1 in plus n n") == 4
+
+    def test_annotation_erased(self):
+        assert result("(inc 1 :: Int)") == 2
+
+    def test_case(self):
+        assert result("case Just 5 of { Just x -> inc x ; Nothing -> 0 }") == 6
+
+    def test_case_match_failure(self):
+        with pytest.raises(EvalError):
+            result("case Just 1 of { Nothing -> 0 }")
+
+    def test_unbound(self):
+        with pytest.raises(EvalError):
+            result("nonexistent")
+
+    def test_apply_non_function(self):
+        with pytest.raises(EvalError):
+            result("1 2")
+
+    def test_shadowing(self):
+        assert result(r"(\x -> (\x -> x) 2) 1") == 2
+
+
+class TestPrelude:
+    def test_runst(self):
+        assert result("runST $ argST") == 42
+        assert result("app runST argST") == 42
+        assert result("revapp argST runST") == 42
+
+    def test_lists(self):
+        assert to_python(result("map inc [1, 2, 3]")) == [2, 3, 4]
+        assert result("length (tail [1, 2, 3])") == 2
+        assert to_python(result("[1] ++ [2]")) == [1, 2]
+        assert result("head [7]") == 7
+
+    def test_polymorphic_list(self):
+        assert result("head ids 99") == 99
+        assert result("length (id : ids)") == 3
+
+    def test_poly(self):
+        assert result("poly id") == (1, True)
+
+    def test_flip(self):
+        assert result(r"flip (\x y -> x) 1 2") == 2
+
+    def test_undefined_explodes_only_when_forced(self):
+        assert result("length (single undefined)") == 1
+        with pytest.raises(EvalError):
+            result("undefined 1")
+
+    def test_pairs(self):
+        assert result("fst (1, True)") == 1
+        assert result("snd (1, True)") is True
+
+
+class TestListConversions:
+    def test_roundtrip(self):
+        assert to_python(from_python([1, 2, 3])) == [1, 2, 3]
+
+    def test_empty(self):
+        assert to_python(from_python([])) == []
+
+    def test_improper_list(self):
+        with pytest.raises(EvalError):
+            to_python(DataValue("Cons", (1, 2)))
+
+    def test_show(self):
+        assert str(DataValue("Just", (1,))) == "(Just 1)"
+        assert str(from_python([1])) == "[1]"

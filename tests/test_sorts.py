@@ -1,0 +1,95 @@
+"""Unit tests for the sort lattice (Figure 3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sorts import Sort, SortAssignment, join_all
+
+SORTS = st.sampled_from(list(Sort))
+
+
+class TestLattice:
+    def test_total_order(self):
+        assert Sort.M < Sort.T < Sort.U
+
+    def test_symbols_match_paper(self):
+        assert Sort.M.symbol == "m"
+        assert Sort.T.symbol == "t"
+        assert Sort.U.symbol == "u"
+
+    def test_join_with_bottom_is_identity(self):
+        for sort in Sort:
+            assert sort.join(Sort.M) is sort
+
+    def test_meet_with_top_is_identity(self):
+        for sort in Sort:
+            assert sort.meet(Sort.U) is sort
+
+    @given(SORTS, SORTS)
+    def test_join_commutative(self, left, right):
+        assert left.join(right) is right.join(left)
+
+    @given(SORTS, SORTS, SORTS)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) is a.join(b.join(c))
+
+    @given(SORTS)
+    def test_join_idempotent(self, sort):
+        assert sort.join(sort) is sort
+
+    @given(SORTS, SORTS)
+    def test_join_is_upper_bound(self, left, right):
+        joined = left.join(right)
+        assert joined >= left and joined >= right
+
+    @given(SORTS, SORTS)
+    def test_meet_is_lower_bound(self, left, right):
+        met = left.meet(right)
+        assert met <= left and met <= right
+
+    def test_permits_reflexive(self):
+        for sort in Sort:
+            assert sort.permits(sort)
+
+    def test_permits_is_downward(self):
+        # A variable of a permissive sort may hold a more restricted type.
+        assert Sort.U.permits(Sort.M)
+        assert Sort.U.permits(Sort.T)
+        assert Sort.T.permits(Sort.M)
+        assert not Sort.M.permits(Sort.T)
+        assert not Sort.M.permits(Sort.U)
+        assert not Sort.T.permits(Sort.U)
+
+    def test_join_all_empty_is_bottom(self):
+        assert join_all([]) is Sort.M
+
+    def test_join_all(self):
+        assert join_all([Sort.M, Sort.T]) is Sort.T
+        assert join_all([Sort.M, Sort.U, Sort.T]) is Sort.U
+
+
+class TestSortAssignment:
+    def test_joined_with_takes_max(self):
+        left = SortAssignment({"a": Sort.M, "b": Sort.U})
+        right = SortAssignment({"a": Sort.T, "c": Sort.M})
+        joined = left.joined_with(right)
+        assert joined == {"a": Sort.T, "b": Sort.U, "c": Sort.M}
+
+    def test_joined_with_does_not_mutate(self):
+        left = SortAssignment({"a": Sort.M})
+        right = SortAssignment({"a": Sort.U})
+        left.joined_with(right)
+        assert left["a"] is Sort.M
+
+    def test_without_removes(self):
+        assignment = SortAssignment({"a": Sort.M, "b": Sort.T})
+        assert assignment.without(["a"]) == {"b": Sort.T}
+
+    def test_without_missing_is_noop(self):
+        assignment = SortAssignment({"a": Sort.M})
+        assert assignment.without(["z"]) == {"a": Sort.M}
+
+    def test_overridden_by_is_right_biased(self):
+        left = SortAssignment({"a": Sort.U})
+        right = SortAssignment({"a": Sort.M})
+        assert left.overridden_by(right)["a"] is Sort.M

@@ -1,0 +1,180 @@
+"""Tests for the System F target language: checker, erasure, printer."""
+
+import pytest
+
+from repro.core.env import DataCon, Environment
+from repro.core.errors import SystemFTypeError
+from repro.core.types import (
+    BOOL,
+    INT,
+    TVar,
+    alpha_equal,
+    forall,
+    fun,
+    list_of,
+)
+from repro.systemf import (
+    FAlt,
+    FApp,
+    FCase,
+    FLam,
+    FLet,
+    FLit,
+    FTyApp,
+    FTyLam,
+    FVar,
+    erase,
+    fapp,
+    ftyapp,
+    ftylam,
+    pretty_fterm,
+    typecheck,
+)
+from repro.core.terms import App, Lam, Let, Lit, Var
+from repro.evalsuite.figure2 import figure2_env
+
+A = TVar("a")
+ID_TYPE = forall(["a"], fun(A, A))
+ENV = figure2_env()
+
+
+def check(term):
+    return typecheck(term, ENV)
+
+
+class TestChecker:
+    def test_var(self):
+        assert check(FVar("inc")) == fun(INT, INT)
+
+    def test_unbound(self):
+        with pytest.raises(SystemFTypeError):
+            check(FVar("nope"))
+
+    def test_literal(self):
+        assert check(FLit(1)) == INT
+        assert check(FLit(True)) == BOOL
+
+    def test_lambda(self):
+        term = FLam("x", INT, FVar("x"))
+        assert check(term) == fun(INT, INT)
+
+    def test_application(self):
+        assert check(FApp(FVar("inc"), FLit(1))) == INT
+
+    def test_application_type_mismatch(self):
+        with pytest.raises(SystemFTypeError):
+            check(FApp(FVar("inc"), FLit(True)))
+
+    def test_application_non_function(self):
+        with pytest.raises(SystemFTypeError):
+            check(FApp(FLit(1), FLit(2)))
+
+    def test_type_abstraction_and_application(self):
+        poly_id = FTyLam(("a",), FLam("x", A, FVar("x")))
+        assert alpha_equal(check(poly_id), ID_TYPE)
+        assert check(FTyApp(poly_id, (INT,))) == fun(INT, INT)
+
+    def test_impredicative_type_application(self):
+        # head @(∀a.a→a) ids — the motivating elaboration of §4.1.
+        term = FApp(FTyApp(FVar("head"), (ID_TYPE,)), FVar("ids"))
+        assert alpha_equal(check(term), ID_TYPE)
+
+    def test_partial_type_application(self):
+        # map @(∀a.a→a) leaves q quantified.
+        term = FTyApp(FVar("map"), (ID_TYPE,))
+        result = check(term)
+        assert alpha_equal(
+            result,
+            forall(
+                ["q"],
+                fun(fun(ID_TYPE, TVar("q")), list_of(ID_TYPE), list_of(TVar("q"))),
+            ),
+        )
+
+    def test_too_many_type_arguments(self):
+        with pytest.raises(SystemFTypeError):
+            check(FTyApp(FVar("id"), (INT, BOOL)))
+
+    def test_exact_argument_matching_is_alpha(self):
+        # poly expects exactly ∀a.a→a; a differently-named binder is fine,
+        # a monomorphic instance is not.
+        good = FApp(FVar("poly"), FTyLam(("b",), FLam("x", TVar("b"), FVar("x"))))
+        check(good)
+        bad = FApp(FVar("poly"), FLam("x", INT, FVar("x")))
+        with pytest.raises(SystemFTypeError):
+            check(bad)
+
+    def test_let(self):
+        term = FLet("n", INT, FLit(1), FApp(FVar("inc"), FVar("n")))
+        assert check(term) == INT
+
+    def test_let_annotation_mismatch(self):
+        with pytest.raises(SystemFTypeError):
+            check(FLet("n", BOOL, FLit(1), FVar("n")))
+
+    def test_case(self):
+        term = FCase(
+            FApp(FTyApp(FVar("Just"), (INT,)), FLit(1)),
+            (
+                FAlt("Just", (), ("x",), FVar("x")),
+                FAlt("Nothing", (), (), FLit(0)),
+            ),
+        )
+        assert check(term) == INT
+
+    def test_case_branch_mismatch(self):
+        term = FCase(
+            FApp(FTyApp(FVar("Just"), (INT,)), FLit(1)),
+            (
+                FAlt("Just", (), ("x",), FVar("x")),
+                FAlt("Nothing", (), (), FLit(True)),
+            ),
+        )
+        with pytest.raises(SystemFTypeError):
+            check(term)
+
+    def test_shadowing_type_binder_rejected(self):
+        term = FTyLam(("a",), FTyLam(("a",), FLam("x", A, FVar("x"))))
+        with pytest.raises(SystemFTypeError):
+            check(term)
+
+
+class TestSmartConstructors:
+    def test_fapp(self):
+        term = fapp(FVar("f"), FLit(1), FLit(2))
+        assert term == FApp(FApp(FVar("f"), FLit(1)), FLit(2))
+
+    def test_ftyapp_collapses(self):
+        assert ftyapp(FVar("f"), ()) == FVar("f")
+        nested = ftyapp(ftyapp(FVar("f"), (INT,)), (BOOL,))
+        assert nested == FTyApp(FVar("f"), (INT, BOOL))
+
+    def test_ftylam_collapses(self):
+        assert ftylam((), FVar("x")) == FVar("x")
+        nested = ftylam(("a",), ftylam(("b",), FVar("x")))
+        assert nested == FTyLam(("a", "b"), FVar("x"))
+
+
+class TestErasure:
+    def test_erase_drops_types(self):
+        term = FTyLam(("a",), FLam("x", A, FTyApp(FVar("x"), (INT,))))
+        assert erase(term) == Lam("x", Var("x"))
+
+    def test_erase_let(self):
+        term = FLet("n", INT, FLit(1), FVar("n"))
+        assert erase(term) == Let("n", Lit(1), Var("n"))
+
+    def test_erase_app(self):
+        term = fapp(FVar("f"), FLit(1))
+        assert erase(term) == App(Var("f"), (Lit(1),))
+
+
+class TestPrinter:
+    def test_renders(self):
+        term = FTyLam(("a",), FLam("x", A, FVar("x")))
+        rendered = pretty_fterm(term)
+        assert "/\\a" in rendered and "x :: a" in rendered
+
+    def test_type_application_render(self):
+        rendered = pretty_fterm(FTyApp(FVar("head"), (ID_TYPE,)))
+        assert "@(forall a. a -> a)" in rendered

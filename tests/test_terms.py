@@ -1,0 +1,137 @@
+"""Unit tests for the term AST."""
+
+import pytest
+
+from repro.core.terms import (
+    Ann,
+    AnnLam,
+    App,
+    Case,
+    CaseAlt,
+    Lam,
+    Let,
+    Lit,
+    Var,
+    app,
+    free_vars,
+    lam,
+    subst_term,
+    subst_type_vars_in_term,
+    term_size,
+    walk_terms,
+)
+from repro.core.types import BOOL, CHAR, INT, STRING, TVar, forall, fun
+
+
+class TestConstruction:
+    def test_app_flattens(self):
+        term = app(app(Var("f"), Var("x")), Var("y"))
+        assert term == App(Var("f"), (Var("x"), Var("y")))
+
+    def test_app_no_args_is_head(self):
+        assert app(Var("f")) == Var("f")
+
+    def test_app_rejects_app_head(self):
+        with pytest.raises(ValueError):
+            App(App(Var("f"), (Var("x"),)), (Var("y"),))
+
+    def test_app_rejects_empty_args(self):
+        with pytest.raises(ValueError):
+            App(Var("f"), ())
+
+    def test_lam_helper(self):
+        term = lam("x", "y", Var("x"))
+        assert term == Lam("x", Lam("y", Var("x")))
+
+    def test_lam_helper_annotated(self):
+        annotation = forall(["a"], fun(TVar("a"), TVar("a")))
+        term = lam(("x", annotation), Var("x"))
+        assert term == AnnLam("x", annotation, Var("x"))
+
+    def test_case_needs_alternatives(self):
+        with pytest.raises(ValueError):
+            Case(Var("x"), ())
+
+
+class TestLiterals:
+    def test_types(self):
+        assert Lit(3).type_ == INT
+        assert Lit(True).type_ == BOOL
+        assert Lit("c").type_ == CHAR
+        assert Lit("hello").type_ == STRING
+
+    def test_bool_is_not_int(self):
+        # bool is a subclass of int in Python; the AST must not confuse them.
+        assert Lit(True).type_ == BOOL
+        assert Lit(1).type_ == INT
+
+
+class TestFreeVars:
+    def test_var(self):
+        assert free_vars(Var("x")) == {"x"}
+
+    def test_lambda_binds(self):
+        assert free_vars(Lam("x", app(Var("f"), Var("x")))) == {"f"}
+
+    def test_let_binds_body_only(self):
+        term = Let("x", Var("y"), app(Var("x"), Var("z")))
+        assert free_vars(term) == {"y", "z"}
+
+    def test_case_binders(self):
+        term = Case(Var("s"), (CaseAlt("Just", ("x",), Var("x")),))
+        assert free_vars(term) == {"s"}
+
+    def test_shadowing(self):
+        term = Lam("x", Let("x", Var("x"), Var("x")))
+        assert free_vars(term) == set()
+
+
+class TestTraversal:
+    def test_term_size(self):
+        assert term_size(Var("x")) == 1
+        assert term_size(app(Var("f"), Var("x"), Var("y"))) == 4
+
+    def test_walk_covers_all(self):
+        term = Let("x", Lam("y", Var("y")), Ann(Var("x"), INT))
+        kinds = [type(node).__name__ for node in walk_terms(term)]
+        assert kinds == ["Let", "Lam", "Var", "Ann", "Var"]
+
+
+class TestSubstitution:
+    def test_subst_var(self):
+        assert subst_term(Var("x"), "x", Lit(1)) == Lit(1)
+
+    def test_subst_respects_lambda(self):
+        term = Lam("x", Var("x"))
+        assert subst_term(term, "x", Lit(1)) == term
+
+    def test_subst_in_app(self):
+        term = app(Var("f"), Var("x"))
+        assert subst_term(term, "x", Lit(2)) == app(Var("f"), Lit(2))
+
+    def test_subst_type_vars_renames_annotations(self):
+        annotation = fun(TVar("a"), TVar("a"))
+        term = AnnLam("x", annotation, Ann(Var("x"), TVar("a")))
+        renamed = subst_type_vars_in_term({"a": TVar("sk")}, term)
+        assert renamed == AnnLam(
+            "x", fun(TVar("sk"), TVar("sk")), Ann(Var("x"), TVar("sk"))
+        )
+
+    def test_subst_type_vars_respects_shadowing(self):
+        inner = Ann(Var("x"), forall(["a"], fun(TVar("a"), TVar("a"))))
+        renamed = subst_type_vars_in_term({"a": TVar("sk")}, inner)
+        assert renamed == inner
+
+
+class TestPretty:
+    def test_roundtrip_simple(self):
+        from repro.syntax import parse_term, pretty_term
+
+        for source in [
+            r"\x y -> f x y",
+            "let x = id in x",
+            "(f x :: Int)",
+            "case m of { Just x -> x ; Nothing -> y }",
+        ]:
+            term = parse_term(source)
+            assert parse_term(pretty_term(term)) == term

@@ -1,0 +1,141 @@
+"""Tests for the Appendix B type-class extension."""
+
+import pytest
+
+from repro.core import Inferencer
+from repro.core.errors import GIError, MissingInstanceError
+from repro.core.types import Pred, alpha_equal, rename_canonical
+from repro.syntax import parse_term, parse_type
+from repro.typeclasses import ClassTable, standard_instances
+from repro.evalsuite.figure2 import figure2_env
+
+
+@pytest.fixture(scope="module")
+def env():
+    return figure2_env().extended_many(
+        {
+            "eq": parse_type("forall a. Eq a => a -> a -> Bool"),
+            "cmp": parse_type("forall a. Ord a => a -> a -> Bool"),
+            "showIt": parse_type("forall a. Show a => a -> String"),
+            "nub": parse_type("forall a. Eq a => [a] -> [a]"),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def gi(env):
+    return Inferencer(env, instances=standard_instances())
+
+
+class TestInstanceResolution:
+    def test_ground_instance(self, gi):
+        assert str(gi.infer(parse_term("eq 1 2")).type_) == "Bool"
+
+    def test_missing_ground_instance(self, gi):
+        with pytest.raises(MissingInstanceError):
+            gi.infer(parse_term("eq not not"))
+
+    def test_recursive_instance(self, gi):
+        assert str(gi.infer(parse_term("eq [[1]] [[2]]")).type_) == "Bool"
+
+    def test_pair_instance(self, gi):
+        assert str(gi.infer(parse_term("eq (1, True) (2, False)")).type_) == "Bool"
+
+    def test_instance_context_failure_propagates(self, gi):
+        # Eq [a] requires Eq a; Eq (Bool -> Bool) has no instance.
+        with pytest.raises(MissingInstanceError):
+            gi.infer(parse_term("eq [not] [not]"))
+
+
+class TestQualifiedInference:
+    def test_residual_constraint_generalised(self, gi):
+        result = gi.infer(parse_term(r"\x -> eq x x"))
+        assert str(result.type_) == "forall a. Eq a => a -> Bool"
+        assert result.context and result.context[0].class_name == "Eq"
+
+    def test_multiple_residuals(self, gi):
+        result = gi.infer(parse_term(r"\x -> pair (eq x x) (showIt x)"))
+        classes = sorted(p.class_name for p in result.type_.context)
+        assert classes == ["Eq", "Show"]
+
+    def test_residual_through_list(self, gi):
+        result = gi.infer(parse_term(r"\xs -> nub (tail xs)"))
+        assert str(result.type_) == "forall a. Eq a => [a] -> [a]"
+
+
+class TestGivens:
+    def test_signature_given_discharges(self, gi):
+        result = gi.infer(
+            parse_term(r"(\x -> eq x x :: forall a. Eq a => a -> Bool)")
+        )
+        assert str(result.type_) == "forall a. Eq a => a -> Bool"
+
+    def test_given_with_superset(self, gi):
+        # An unused given is fine.
+        result = gi.infer(
+            parse_term(r"(\x -> eq x x :: forall a. (Eq a, Show a) => a -> Bool)")
+        )
+        assert len(result.type_.context) == 2
+
+    def test_missing_given_fails(self, gi):
+        with pytest.raises(GIError):
+            gi.infer(parse_term(r"(\x -> eq x x :: forall a. Show a => a -> Bool)"))
+
+    def test_qualified_function_in_env_used_at_instance(self, gi):
+        assert str(gi.infer(parse_term("nub [1, 2, 1]")).type_) == "[Int]"
+
+
+class TestInteractionWithGuardedness:
+    def test_impredicative_with_classes(self, env):
+        # A class-constrained function over a polymorphic list: the
+        # guardedness machinery is unaffected by the context.
+        env2 = env.extended(
+            "eqLen", parse_type("forall p. Eq Int => [p] -> [p] -> Bool")
+        )
+        gi = Inferencer(env2, instances=standard_instances())
+        assert str(gi.infer(parse_term("eqLen ids ids")).type_) == "Bool"
+
+    def test_qualified_annotation_with_impredicativity(self, env):
+        gi = Inferencer(env, instances=standard_instances())
+        result = gi.infer(
+            parse_term("(single id :: [forall a. a -> a])")
+        )
+        assert str(result.type_) == "[forall a. a -> a]"
+
+
+class TestClassTable:
+    def test_declare_and_instance(self):
+        table = ClassTable().declare("Num").instance("Num Int")
+        env = figure2_env().extended(
+            "double", parse_type("forall a. Num a => a -> a")
+        )
+        gi = Inferencer(env, instances=table.env())
+        assert str(gi.infer(parse_term("double 3")).type_) == "Int"
+        with pytest.raises(MissingInstanceError):
+            gi.infer(parse_term("double True"))
+
+    def test_instance_with_given(self):
+        table = (
+            ClassTable()
+            .declare("Semigroup")
+            .instance("Semigroup Int")
+            .instance("Semigroup [a]", given=["Semigroup a"])
+        )
+        env = figure2_env().extended(
+            "combine", parse_type("forall a. Semigroup a => a -> a -> a")
+        )
+        gi = Inferencer(env, instances=table.env())
+        assert str(gi.infer(parse_term("combine [1] [2]")).type_) == "[Int]"
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            ClassTable().instance("Int")
+
+    def test_standard_instances_cover_builtins(self):
+        instances = standard_instances()
+        from repro.core.constraints import ClassC
+        from repro.core.types import BOOL, INT
+
+        assert instances.match(ClassC("Eq", (INT,))) == []
+        assert instances.match(ClassC("Ord", (BOOL,))) == []
+        assert instances.match(ClassC("Eq", (parse_type("Float"),))) is None

@@ -1,0 +1,236 @@
+"""Tests for sort- and level-aware unification (the equality rules of
+Figure 8 plus float/promotion of Figure 10)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import (
+    OccursCheckError,
+    SkolemEscapeError,
+    SortError,
+    UnificationError,
+)
+from repro.core.sorts import Sort
+from repro.core.types import (
+    BOOL,
+    INT,
+    Forall,
+    TCon,
+    TVar,
+    UVar,
+    alpha_equal,
+    forall,
+    fun,
+    fuv,
+    list_of,
+)
+from repro.core.unify import Unifier
+
+from tests.strategies import monotypes, polytypes
+
+A, B = TVar("a"), TVar("b")
+ID = forall(["a"], fun(A, A))
+
+
+def uvar(name: str, sort: Sort = Sort.U, level: int = 0) -> UVar:
+    return UVar(name, sort, level)
+
+
+class TestStructural:
+    def test_eqrefl(self):
+        unifier = Unifier()
+        unifier.unify(INT, INT)
+        assert not unifier.subst
+
+    def test_eqmono_decomposes(self):
+        unifier = Unifier()
+        alpha, beta = uvar("x"), uvar("y")
+        unifier.unify(fun(alpha, beta), fun(INT, BOOL))
+        assert unifier.zonk(alpha) == INT
+        assert unifier.zonk(beta) == BOOL
+
+    def test_constructor_mismatch(self):
+        with pytest.raises(UnificationError):
+            Unifier().unify(INT, BOOL)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(UnificationError):
+            Unifier().unify(TCon("T", (INT,)), TCon("T", (INT, BOOL)))
+
+    def test_rigid_variables_only_match_themselves(self):
+        Unifier().unify(A, A)
+        with pytest.raises(UnificationError):
+            Unifier().unify(A, B)
+        with pytest.raises(UnificationError):
+            Unifier().unify(A, INT)
+
+    def test_occurs_check(self):
+        unifier = Unifier()
+        alpha = uvar("x")
+        with pytest.raises(OccursCheckError):
+            unifier.unify(alpha, list_of(alpha))
+
+    def test_occurs_check_through_substitution(self):
+        unifier = Unifier()
+        alpha, beta = uvar("x"), uvar("y")
+        unifier.unify(alpha, list_of(beta))
+        with pytest.raises(OccursCheckError):
+            unifier.unify(beta, alpha)
+
+    @given(monotypes())
+    def test_unify_with_self(self, type_):
+        unifier = Unifier()
+        unifier.unify(type_, type_)
+        assert alpha_equal(unifier.zonk(type_), type_)
+
+    @given(monotypes())
+    def test_unify_fresh_var(self, type_):
+        unifier = Unifier()
+        alpha = uvar("fresh_probe")
+        unifier.unify(alpha, type_)
+        assert alpha_equal(unifier.zonk(alpha), unifier.zonk(type_))
+
+
+class TestForallEquality:
+    def test_alpha_equal_foralls(self):
+        left = forall(["a"], fun(A, A))
+        right = forall(["b"], fun(B, B))
+        Unifier().unify(left, right)  # no exception
+
+    def test_quantifier_order_matters(self):
+        left = Forall(("a", "b"), fun(A, B, B))
+        right = Forall(("b", "a"), fun(A, B, B))
+        with pytest.raises(UnificationError):
+            Unifier().unify(left, right)
+
+    def test_forall_vs_mono_fails(self):
+        with pytest.raises(UnificationError):
+            Unifier().unify(ID, fun(INT, INT))
+
+    def test_unification_inside_matched_bodies(self):
+        # (∀b. b → α) ~ (∀b. b → Int) must solve α := Int.
+        unifier = Unifier()
+        alpha = uvar("x")
+        left = Forall(("b",), fun(B, alpha))
+        right = Forall(("b",), fun(B, INT))
+        unifier.unify(left, right)
+        assert unifier.zonk(alpha) == INT
+
+    def test_bound_variable_cannot_leak(self):
+        # (∀b. b → α) ~ (∀b. b → b) would need α := b — capture; reject.
+        unifier = Unifier()
+        alpha = uvar("x")
+        with pytest.raises(SkolemEscapeError):
+            unifier.unify(Forall(("b",), fun(B, alpha)), Forall(("b",), fun(B, B)))
+
+    def test_binder_count_mismatch(self):
+        left = Forall(("a",), fun(A, A))
+        right = Forall(("a", "b"), fun(A, fun(B, B)))
+        with pytest.raises(UnificationError):
+            Unifier().unify(left, right)
+
+
+class TestSorts:
+    def test_eqvar_more_restrictive_wins(self):
+        unifier = Unifier()
+        alpha_u, beta_t = uvar("x", Sort.U), uvar("y", Sort.T)
+        unifier.unify(alpha_u, beta_t)
+        # The unrestricted variable must be the one substituted away.
+        assert unifier.zonk(alpha_u) == beta_t
+        assert unifier.zonk(beta_t) == beta_t
+
+    def test_t_variable_accepts_nested_polymorphism(self):
+        unifier = Unifier()
+        beta = uvar("y", Sort.T)
+        unifier.unify(beta, list_of(ID))
+        assert unifier.zonk(beta) == list_of(ID)
+
+    def test_t_variable_rejects_top_level_forall(self):
+        unifier = Unifier()
+        with pytest.raises(SortError):
+            unifier.unify(uvar("y", Sort.T), ID)
+
+    def test_m_variable_rejects_any_forall(self):
+        unifier = Unifier()
+        with pytest.raises(SortError):
+            unifier.unify(uvar("z", Sort.M), list_of(ID))
+
+    def test_eqfully_demotes(self):
+        # αᵐ ~ [βᵘ] forces β to become fully monomorphic.
+        unifier = Unifier()
+        alpha_m, beta_u = uvar("x", Sort.M), uvar("y")
+        unifier.unify(alpha_m, list_of(beta_u))
+        demoted = unifier.zonk(beta_u)
+        assert isinstance(demoted, UVar) and demoted.sort is Sort.M
+        with pytest.raises(SortError):
+            unifier.unify(beta_u, ID)
+
+    def test_demoted_variable_still_unifies_mono(self):
+        unifier = Unifier()
+        alpha_m, beta_u = uvar("x", Sort.M), uvar("y")
+        unifier.unify(alpha_m, list_of(beta_u))
+        unifier.unify(beta_u, INT)
+        assert unifier.zonk(alpha_m) == list_of(INT)
+
+
+class TestLevels:
+    def test_promotion(self):
+        # Binding an outer variable to a type mentioning an inner variable
+        # promotes the inner one (rule float).
+        unifier = Unifier()
+        outer = uvar("o", Sort.U, level=0)
+        inner = uvar("i", Sort.U, level=3)
+        unifier.unify(outer, list_of(inner))
+        promoted = unifier.zonk(inner)
+        assert isinstance(promoted, UVar)
+        assert promoted.level == 0
+
+    def test_skolem_escape(self):
+        unifier = Unifier()
+        skolem = unifier.fresh_skolem("s", level=2)
+        outer = uvar("o", Sort.U, level=0)
+        with pytest.raises(SkolemEscapeError):
+            unifier.unify(outer, TVar(skolem))
+
+    def test_inner_variable_may_hold_outer_skolem(self):
+        unifier = Unifier()
+        skolem = unifier.fresh_skolem("s", level=1)
+        inner = uvar("i", Sort.U, level=2)
+        unifier.unify(inner, TVar(skolem))
+        assert unifier.zonk(inner) == TVar(skolem)
+
+    def test_var_var_prefers_shallow(self):
+        unifier = Unifier()
+        shallow = uvar("s", Sort.U, level=0)
+        deep = uvar("d", Sort.U, level=4)
+        unifier.unify(shallow, deep)
+        assert unifier.zonk(deep) == shallow
+
+    def test_restrictive_but_deep_promotes(self):
+        unifier = Unifier()
+        outer_u = uvar("o", Sort.U, level=0)
+        inner_t = uvar("i", Sort.T, level=3)
+        unifier.unify(outer_u, inner_t)
+        resolved = unifier.zonk(outer_u)
+        assert isinstance(resolved, UVar)
+        assert resolved.sort is Sort.T and resolved.level == 0
+
+
+class TestZonk:
+    def test_zonk_chases_chains(self):
+        unifier = Unifier()
+        a, b, c = uvar("a1"), uvar("b1"), uvar("c1")
+        unifier.unify(a, b)
+        unifier.unify(b, c)
+        unifier.unify(c, INT)
+        assert unifier.zonk(a) == INT
+
+    def test_zonk_head_only_top(self):
+        unifier = Unifier()
+        a = uvar("a1")
+        unifier.unify(a, list_of(uvar("b1")))
+        assert isinstance(unifier.zonk_head(a), TCon)
+
+    @given(polytypes())
+    def test_zonk_empty_subst_is_identity(self, type_):
+        assert Unifier().zonk(type_) == type_
