@@ -6,15 +6,21 @@ Subcommands::
     python -m repro check "single id" "[Int -> Int]"
     python -m repro run "runST $ argST"       # evaluate
     python -m repro elaborate "id : ids"      # show the System F witness
+    python -m repro batch exprs.txt --json    # check many expressions
     python -m repro figure2                   # regenerate the table
     python -m repro repl                      # interactive loop
 
-All commands use the Figure 1 prelude environment.
+All commands use the Figure 1 prelude environment.  No command ever
+prints a raw Python traceback: type errors are reported as one-line
+``type error:`` diagnostics, and internal failures (e.g. blowing the
+recursion limit on pathological input) as one-line ``internal error:``
+diagnostics.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as json_module
 import sys
 
 from repro.core import Inferencer
@@ -29,11 +35,22 @@ def _inferencer() -> Inferencer:
     return Inferencer(figure2_env())
 
 
+def _internal_diagnostic(error: BaseException) -> str:
+    """One line for a contained crash; never a traceback."""
+    detail = str(error) or "(no message)"
+    if len(detail) > 200:
+        detail = detail[:200] + "…"
+    return f"internal error ({type(error).__name__}): {detail}"
+
+
 def cmd_infer(source: str) -> int:
     try:
         result = _inferencer().infer(parse_term(source))
     except GIError as error:
         print(f"type error: {error}", file=sys.stderr)
+        return 1
+    except Exception as error:  # noqa: BLE001 — CLI containment
+        print(_internal_diagnostic(error), file=sys.stderr)
         return 1
     print(result.type_)
     return 0
@@ -46,6 +63,9 @@ def cmd_check(source: str, signature: str) -> int:
     except GIError as error:
         print(f"type error: {error}", file=sys.stderr)
         return 1
+    except Exception as error:  # noqa: BLE001 — CLI containment
+        print(_internal_diagnostic(error), file=sys.stderr)
+        return 1
     print("ok")
     return 0
 
@@ -57,6 +77,9 @@ def cmd_run(source: str) -> int:
         value = interp_run(term)
     except GIError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 1
+    except Exception as error:  # noqa: BLE001 — CLI containment
+        print(_internal_diagnostic(error), file=sys.stderr)
         return 1
     print(value)
     return 0
@@ -72,9 +95,39 @@ def cmd_elaborate(source: str) -> int:
     except GIError as error:
         print(f"type error: {error}", file=sys.stderr)
         return 1
+    except Exception as error:  # noqa: BLE001 — CLI containment
+        print(_internal_diagnostic(error), file=sys.stderr)
+        return 1
     print(f"term : {pretty_fterm(fterm)}")
     print(f"type : {ftype}")
     return 0
+
+
+def cmd_batch(
+    path: str,
+    max_steps: int | None,
+    max_depth: int | None,
+    timeout: float | None,
+    as_json: bool,
+) -> int:
+    from repro.robustness import Budget, check_batch, read_batch_file, render_text
+
+    try:
+        sources = read_batch_file(path)
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    budget = Budget(
+        max_solver_steps=max_steps,
+        max_unify_depth=max_depth,
+        wall_clock=timeout,
+    )
+    result = check_batch(sources, figure2_env(), budget=budget)
+    if as_json:
+        print(json_module.dumps(result.to_dict(), indent=2))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
 
 
 def cmd_repl() -> int:
@@ -99,6 +152,8 @@ def cmd_repl() -> int:
                 print(gi.infer(parse_term(line)).type_)
         except GIError as error:
             print(f"error: {error}")
+        except Exception as error:  # noqa: BLE001 — the repl must survive
+            print(_internal_diagnostic(error))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -114,6 +169,23 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("expr")
     p_elab = sub.add_parser("elaborate", help="show the System F witness")
     p_elab.add_argument("expr")
+    p_batch = sub.add_parser(
+        "batch",
+        help="check a file of expressions (one per line), one budget each",
+    )
+    p_batch.add_argument("file")
+    p_batch.add_argument(
+        "--max-steps", type=int, default=None, help="solver step budget per item"
+    )
+    p_batch.add_argument(
+        "--max-depth", type=int, default=None, help="unification depth budget per item"
+    )
+    p_batch.add_argument(
+        "--timeout", type=float, default=None, help="wall-clock seconds per item"
+    )
+    p_batch.add_argument(
+        "--json", action="store_true", help="emit structured JSON diagnostics"
+    )
     sub.add_parser("figure2", help="regenerate Figure 2")
     sub.add_parser("repl", help="interactive loop")
 
@@ -126,6 +198,14 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(arguments.expr)
     if arguments.command == "elaborate":
         return cmd_elaborate(arguments.expr)
+    if arguments.command == "batch":
+        return cmd_batch(
+            arguments.file,
+            arguments.max_steps,
+            arguments.max_depth,
+            arguments.timeout,
+            arguments.json,
+        )
     if arguments.command == "figure2":
         import runpy
         from pathlib import Path

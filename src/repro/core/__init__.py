@@ -16,7 +16,11 @@ from repro.core.terms import (
 )
 from repro.core.env import Environment
 from repro.core.errors import (
+    AnnotationNeededError,
+    BudgetExceededError,
     GIError,
+    InternalError,
+    MissingInstanceError,
     OccursCheckError,
     ScopeError,
     SkolemEscapeError,
@@ -53,6 +57,10 @@ __all__ = [
     "SkolemEscapeError",
     "StuckConstraintError",
     "ScopeError",
+    "AnnotationNeededError",
+    "MissingInstanceError",
+    "BudgetExceededError",
+    "InternalError",
     "infer",
     "Inferencer",
     "InferOptions",

@@ -120,6 +120,64 @@ class MissingInstanceError(TypeError_):
         super().__init__(f"no instance for `{constraint}`")
 
 
+class BudgetExceededError(GIError):
+    """An inference run exhausted one of its resource budgets.
+
+    Carries enough structure for callers to tell *which* limit tripped and
+    where: the ``phase`` ("solver", "unify" or "deadline"), the name and
+    value of the limit, a snapshot of the run counters, and — when the
+    solver was mid-step — the constraint being processed.
+    """
+
+    def __init__(
+        self,
+        phase: str,
+        limit_name: str,
+        limit,
+        counters: dict | None = None,
+        constraint=None,
+    ):
+        self.phase = phase
+        self.limit_name = limit_name
+        self.limit = limit
+        self.counters = dict(counters or {})
+        self.constraint = constraint
+        used = ", ".join(f"{key}={value}" for key, value in self.counters.items())
+        at = f" while processing `{constraint}`" if constraint is not None else ""
+        super().__init__(
+            f"budget exceeded in {phase}: {limit_name} limit of {limit} "
+            f"reached ({used}){at}"
+        )
+
+
+class InternalError(GIError):
+    """An internal failure (a bug, not a type error) contained at the
+    public API boundary.
+
+    ``Inferencer.infer`` converts any non-:class:`GIError` exception —
+    ``RecursionError``, ``AssertionError``, ``KeyError``, … — into this
+    class so that no raw Python traceback ever escapes the engine.  The
+    original exception is chained as ``__cause__``; ``snapshot`` holds a
+    redacted summary of solver state (counts only, no user types).
+    """
+
+    def __init__(self, original: BaseException, phase: str, snapshot: dict | None = None):
+        self.original_class = type(original).__name__
+        self.phase = phase
+        self.snapshot = dict(snapshot or {})
+        detail = str(original) or "(no message)"
+        if len(detail) > 200:
+            detail = detail[:200] + "…"
+        state = (
+            " [" + ", ".join(f"{key}={value}" for key, value in self.snapshot.items()) + "]"
+            if self.snapshot
+            else ""
+        )
+        super().__init__(
+            f"internal error during {phase} ({self.original_class}): {detail}{state}"
+        )
+
+
 class ElaborationError(GIError):
     """Internal invariant violation while building the System F witness."""
 

@@ -17,10 +17,16 @@ the term is a fully monomorphic substitution instance of the result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.constraints import ClassC, Constraint
 from repro.core.env import Environment
-from repro.core.errors import GIError, MissingInstanceError
+from repro.core.errors import (
+    AnnotationNeededError,
+    GIError,
+    InternalError,
+    MissingInstanceError,
+)
 from repro.core.evidence import EvidenceStore
 from repro.core.generate import GenOptions, Generator
 from repro.core.names import NameSupply, letters
@@ -37,18 +43,26 @@ from repro.core.types import (
     rename_canonical,
 )
 
+if TYPE_CHECKING:  # pragma: no cover — keeps the core→robustness edge lazy
+    from repro.robustness.budget import Budget
+    from repro.robustness.faultinject import FaultPlan
+
 
 @dataclass
 class InferOptions:
     """Configuration for one inference run.
 
     ``use_vargen`` / ``nary_apps`` feed the ablation benchmarks;
-    ``generalize`` controls whether residual variables are quantified.
+    ``generalize`` controls whether residual variables are quantified;
+    ``defaulting=False`` makes the solver fail deterministically with
+    :class:`StuckConstraintError` on underdetermined programs instead of
+    defaulting the blocked variables (Section 4.3.2).
     """
 
     use_vargen: bool = True
     nary_apps: bool = True
     generalize: bool = True
+    defaulting: bool = True
 
 
 @dataclass
@@ -80,65 +94,106 @@ class InferenceResult:
 
 
 class Inferencer:
-    """A reusable inference engine bound to an environment."""
+    """A reusable inference engine bound to an environment.
+
+    ``budget`` bounds every run (solver fuel, unification depth, wall
+    clock; re-armed per call), ``faults`` is the deterministic
+    fault-injection hook used by the robustness test harness.  Whatever
+    happens inside a run, :meth:`infer` raises :class:`GIError` or
+    nothing: internal failures are converted to :class:`InternalError`
+    at this boundary.
+    """
 
     def __init__(
         self,
         env: Environment | None = None,
         instances: InstanceEnv | None = None,
         options: InferOptions | None = None,
+        budget: "Budget | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         self.env = env or Environment()
         self.instances = instances or InstanceEnv()
         self.options = options or InferOptions()
+        self.budget = budget
+        self.faults = faults
 
     def infer(self, term: Term) -> InferenceResult:
-        """Infer the principal type of a term; raises :class:`GIError`."""
-        supply = NameSupply("u")
-        evidence = EvidenceStore()
-        generator = Generator(
-            supply,
-            evidence,
-            GenOptions(
-                use_vargen=self.options.use_vargen,
-                nary_apps=self.options.nary_apps,
-            ),
-        )
-        result_type, constraints = generator.gen(self.env, term)
-        solver = Solver(supply, evidence, self.instances)
-        residual = solver.solve(list(constraints))
-        zonked = solver.unifier.zonk(result_type)
+        """Infer the principal type of a term; raises :class:`GIError`.
 
-        residual_preds: list[ClassC] = []
-        for predicate, scope in residual:
-            if scope.level != 0:
-                raise MissingInstanceError(predicate)
-            residual_preds.append(
-                ClassC(
-                    predicate.class_name,
-                    tuple(solver.unifier.zonk(a) for a in predicate.args),
-                )
+        This is the crash-containment boundary: any non-:class:`GIError`
+        exception escaping the engine (deep recursion, an invariant
+        violation, an injected fault) is converted to
+        :class:`InternalError` carrying the phase it died in and a
+        redacted solver-state snapshot — no raw traceback escapes.
+        """
+        if self.budget is not None:
+            self.budget.start()
+        if self.faults is not None:
+            self.faults.start()
+        phase = "generate"
+        solver: Solver | None = None
+        try:
+            supply = NameSupply("u")
+            evidence = EvidenceStore()
+            generator = Generator(
+                supply,
+                evidence,
+                GenOptions(
+                    use_vargen=self.options.use_vargen,
+                    nary_apps=self.options.nary_apps,
+                ),
             )
+            result_type, constraints = generator.gen(self.env, term)
+            phase = "solve"
+            solver = Solver(
+                supply,
+                evidence,
+                self.instances,
+                budget=self.budget,
+                faults=self.faults,
+                defaulting=self.options.defaulting,
+            )
+            residual = solver.solve(list(constraints))
+            phase = "generalize"
+            zonked = solver.unifier.zonk(result_type)
 
-        if not self.options.generalize:
+            residual_preds: list[ClassC] = []
+            for predicate, scope in residual:
+                if scope.level != 0:
+                    raise MissingInstanceError(predicate)
+                residual_preds.append(
+                    ClassC(
+                        predicate.class_name,
+                        tuple(solver.unifier.zonk(a) for a in predicate.args),
+                    )
+                )
+
+            if not self.options.generalize:
+                evidence.zonk(solver.unifier.zonk)
+                return InferenceResult(
+                    zonked, zonked, term, list(constraints), evidence, solver
+                )
+
+            principal, context, binders = self._generalize(
+                zonked, residual_preds, solver
+            )
+            self._ground_evidence(evidence, solver)
             evidence.zonk(solver.unifier.zonk)
             return InferenceResult(
-                zonked, zonked, term, list(constraints), evidence, solver
+                rename_canonical(principal),
+                zonked,
+                term,
+                list(constraints),
+                evidence,
+                solver,
+                context,
+                binders,
             )
-
-        principal, context, binders = self._generalize(zonked, residual_preds, solver)
-        self._ground_evidence(evidence, solver)
-        evidence.zonk(solver.unifier.zonk)
-        return InferenceResult(
-            rename_canonical(principal),
-            zonked,
-            term,
-            list(constraints),
-            evidence,
-            solver,
-            context,
-            binders,
-        )
+        except GIError:
+            raise
+        except Exception as error:  # noqa: BLE001 — the containment boundary
+            raise InternalError(error, phase, _solver_snapshot(solver)) from error
 
     def check(self, term: Term, type_: Type) -> InferenceResult:
         """Check a term against a signature (``f :: σ; f = e`` becomes the
@@ -194,7 +249,15 @@ class Inferencer:
             for argument in predicate.args:
                 for variable in _ordered_fuv(argument):
                     if variable not in free:
-                        free.append(variable)
+                        # A constraint on a variable the type never
+                        # mentions can never be discharged by any caller
+                        # (Haskell's ambiguity check).
+                        raise AnnotationNeededError(
+                            f"the constraint `{predicate}` is ambiguous — it "
+                            f"mentions a type variable that does not occur in "
+                            f"the inferred type `{zonked}`; bind the "
+                            f"expression with a type annotation"
+                        )
         names: list[str] = []
         for variable in free:
             name = next_name()
@@ -209,6 +272,23 @@ class Inferencer:
             for predicate in residual_preds
         )
         return forall(names, body, context), context, tuple(names)
+
+
+def _solver_snapshot(solver: "Solver | None") -> dict:
+    """A redacted view of solver state for :class:`InternalError` reports.
+
+    Counts and depths only — no constraint contents, no types — so the
+    snapshot is safe to log for untrusted input.
+    """
+    if solver is None:
+        return {}
+    return {
+        "pending_constraints": len(solver.queue),
+        "deferred_constraints": len(solver.deferred),
+        "current_level": solver.current_level,
+        "substitution_size": len(solver.unifier.subst),
+        "solver_steps": solver.steps,
+    }
 
 
 def _evidence_types(evidence: EvidenceStore):

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.classify import Bit, classified_binders
 from repro.core.constraints import ClassC, Constraint, Eq, Gen, Inst, Quant, Scheme
@@ -55,6 +55,10 @@ from repro.core.types import (
     subst_tvars,
 )
 from repro.core.unify import Unifier
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a runtime import cycle
+    from repro.robustness.budget import Budget
+    from repro.robustness.faultinject import FaultPlan
 
 
 @dataclass
@@ -88,20 +92,40 @@ class Scope:
 
 
 class Solver:
-    """One solving run over a generated constraint set."""
+    """One solving run over a generated constraint set.
+
+    ``budget`` bounds the worklist (one budget tick per processed
+    constraint) and is shared with the unifier, which bounds its own
+    recursion against it; ``faults`` is the deterministic fault-injection
+    hook.  ``defaulting=False`` disables the Section 4.3.2 defaulting of
+    blocked unrestricted variables, so an underdetermined program fails
+    deterministically with :class:`StuckConstraintError` instead of being
+    completed with guessed monomorphic types.
+    """
 
     def __init__(
         self,
         supply: NameSupply,
         evidence: EvidenceStore | None = None,
         instances: "InstanceEnv | None" = None,
+        budget: "Budget | None" = None,
+        faults: "FaultPlan | None" = None,
+        defaulting: bool = True,
     ) -> None:
-        self.unifier = Unifier(supply)
+        self.unifier = Unifier(supply, budget=budget, faults=faults)
         self.evidence = evidence or EvidenceStore()
         self.instances = instances or InstanceEnv()
         self.queue: deque[tuple[Constraint, Scope]] = deque()
         self.deferred: list[tuple[Constraint, Scope]] = []
         self.root = Scope(0)
+        self.budget = budget
+        self.faults = faults
+        self.defaulting = defaulting
+        self.steps = 0
+        """Constraints processed so far (the budget's fuel gauge)."""
+
+        self.current_level = 0
+        """Scope depth of the constraint being processed (for snapshots)."""
 
     # ------------------------------------------------------------------
     # Driver
@@ -121,7 +145,7 @@ class Solver:
             self._drain()
             if self.unifier.bindings != mark:
                 continue
-            if self._default_one():
+            if self.defaulting and self._default_one():
                 continue
             break
         residual_classes = [
@@ -142,6 +166,12 @@ class Solver:
     def _drain(self) -> None:
         while self.queue:
             constraint, scope = self.queue.popleft()
+            self.steps += 1
+            self.current_level = scope.level
+            if self.budget is not None:
+                self.budget.check_solver_step(self.steps, constraint)
+            if self.faults is not None:
+                self.faults.solver_step(self.steps, constraint)
             self._step(constraint, scope)
 
     def _requeue_deferred(self) -> None:

@@ -23,7 +23,7 @@ escape, reported as such.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import (
     OccursCheckError,
@@ -47,17 +47,36 @@ from repro.core.types import (
     subst_uvars,
 )
 
+if TYPE_CHECKING:  # pragma: no cover — avoids a runtime import cycle
+    from repro.robustness.budget import Budget
+    from repro.robustness.faultinject import FaultPlan
+
 TVarResolver = Callable[[str], Type | None]
 
 
 class Unifier:
-    """Mutable unification state: substitution, fresh supply, skolem levels."""
+    """Mutable unification state: substitution, fresh supply, skolem levels.
 
-    def __init__(self, supply: NameSupply | None = None) -> None:
+    ``budget`` bounds the recursion depth of :meth:`unify` (and enforces
+    the run's wall-clock deadline); ``faults`` is the deterministic
+    fault-injection hook.  Both are optional and cost one attribute check
+    per recursion level when absent.
+    """
+
+    def __init__(
+        self,
+        supply: NameSupply | None = None,
+        budget: "Budget | None" = None,
+        faults: "FaultPlan | None" = None,
+    ) -> None:
         self.supply = supply or NameSupply("v")
         self.subst: dict[UVar, Type] = {}
         self.skolem_levels: dict[str, int] = {}
         self.bindings = 0
+        self.budget = budget
+        self.faults = faults
+        self.depth = 0
+        """Current recursion depth of :meth:`unify` (0 when idle)."""
 
     # -- fresh variables and skolems -----------------------------------
 
@@ -125,36 +144,44 @@ class Unifier:
         types); ``resolver`` optionally rewrites rigid variables using
         local given equalities (the GADT extension of Appendix B).
         """
-        left = self.zonk(left)
-        right = self.zonk(right)
-        if left == right:
-            return
-        if isinstance(left, UVar):
-            self.bind(left, right, resolver)
-            return
-        if isinstance(right, UVar):
-            self.bind(right, left, resolver)
-            return
-        if isinstance(left, TVar) or isinstance(right, TVar):
-            self._unify_rigid(left, right, level, resolver)
-            return
-        if isinstance(left, TCon) and isinstance(right, TCon):
-            if left.name != right.name or len(left.args) != len(right.args):
-                raise UnificationError(left, right, "different type constructors")
-            for left_argument, right_argument in zip(left.args, right.args):
-                self.unify(left_argument, right_argument, level, resolver)
-            return
-        if isinstance(left, Forall) and isinstance(right, Forall):
-            self._unify_forall(left, right, level, resolver)
-            return
-        if isinstance(left, Forall) or isinstance(right, Forall):
-            raise UnificationError(
-                left,
-                right,
-                "a polymorphic type can only equal another polymorphic type; "
-                "all constructors in GI are invariant",
-            )
-        raise UnificationError(left, right)
+        self.depth += 1
+        try:
+            if self.budget is not None:
+                self.budget.check_unify_depth(self.depth, left, right)
+            if self.faults is not None:
+                self.faults.unify_depth(self.depth)
+            left = self.zonk(left)
+            right = self.zonk(right)
+            if left == right:
+                return
+            if isinstance(left, UVar):
+                self.bind(left, right, resolver)
+                return
+            if isinstance(right, UVar):
+                self.bind(right, left, resolver)
+                return
+            if isinstance(left, TVar) or isinstance(right, TVar):
+                self._unify_rigid(left, right, level, resolver)
+                return
+            if isinstance(left, TCon) and isinstance(right, TCon):
+                if left.name != right.name or len(left.args) != len(right.args):
+                    raise UnificationError(left, right, "different type constructors")
+                for left_argument, right_argument in zip(left.args, right.args):
+                    self.unify(left_argument, right_argument, level, resolver)
+                return
+            if isinstance(left, Forall) and isinstance(right, Forall):
+                self._unify_forall(left, right, level, resolver)
+                return
+            if isinstance(left, Forall) or isinstance(right, Forall):
+                raise UnificationError(
+                    left,
+                    right,
+                    "a polymorphic type can only equal another polymorphic type; "
+                    "all constructors in GI are invariant",
+                )
+            raise UnificationError(left, right)
+        finally:
+            self.depth -= 1
 
     def _unify_rigid(
         self, left: Type, right: Type, level: int, resolver: TVarResolver | None

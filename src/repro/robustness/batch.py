@@ -1,0 +1,196 @@
+"""Batch checking: many expressions, one budget each, never crash.
+
+The driver behind ``python -m repro batch``.  Each expression is parsed
+and inferred in isolation — under its own (re-armed) budget, behind the
+crash-containment boundary — and failures become structured
+:class:`Diagnostic` records instead of aborting the run.  The first bad
+expression in a batch therefore costs exactly one diagnostic, never the
+rest of the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.env import Environment
+from repro.core.errors import BudgetExceededError, GIError, InternalError, ParseError
+from repro.core.infer import Inferencer, InferOptions
+from repro.core.solver import InstanceEnv
+from repro.robustness.budget import Budget
+from repro.robustness.faultinject import FaultPlan
+from repro.syntax.parser import parse_term
+
+SEVERITY_ERROR = "error"
+"""A well-delimited rejection: parse error, type error, budget exhausted."""
+
+SEVERITY_INTERNAL = "internal"
+"""A contained engine failure (:class:`InternalError` or a parser crash)."""
+
+
+@dataclass
+class Diagnostic:
+    """One structured failure record for one batch item."""
+
+    severity: str
+    """``"error"`` or ``"internal"`` (see module constants)."""
+
+    index: int
+    """Zero-based position of the expression in the batch."""
+
+    error_class: str
+    """Name of the :class:`GIError` subclass that was raised."""
+
+    message: str
+
+    phase: str | None = None
+    """Engine phase for budget/internal failures, when known."""
+
+    def to_dict(self) -> dict:
+        return {
+            "severity": self.severity,
+            "index": self.index,
+            "error_class": self.error_class,
+            "message": self.message,
+            "phase": self.phase,
+        }
+
+
+@dataclass
+class BatchItem:
+    """The outcome for one expression: a type or a diagnostic."""
+
+    index: int
+    source: str
+    type_: str | None = None
+    diagnostic: Diagnostic | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.diagnostic is None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "source": self.source,
+            "ok": self.ok,
+            "type": self.type_,
+            "diagnostic": self.diagnostic.to_dict() if self.diagnostic else None,
+        }
+
+
+@dataclass
+class BatchResult:
+    """All outcomes of one batch run, in input order."""
+
+    items: list[BatchItem] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(item.ok for item in self.items)
+
+    @property
+    def failures(self) -> list[BatchItem]:
+        return [item for item in self.items if not item.ok]
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return [item.diagnostic for item in self.items if item.diagnostic]
+
+    def to_dict(self) -> dict:
+        return {
+            "total": len(self.items),
+            "passed": len(self.items) - len(self.failures),
+            "failed": len(self.failures),
+            "items": [item.to_dict() for item in self.items],
+        }
+
+
+def check_batch(
+    sources: Iterable[str],
+    env: Environment | None = None,
+    instances: InstanceEnv | None = None,
+    options: InferOptions | None = None,
+    budget: Budget | None = None,
+    faults: FaultPlan | None = None,
+) -> BatchResult:
+    """Type-check every expression, isolating each under its own budget.
+
+    The same :class:`Budget` object is re-armed (:meth:`Budget.start`)
+    for every item, so a budget-busting expression cannot starve its
+    neighbours.  Every failure mode — parse error, type error, exhausted
+    budget, contained internal crash — yields one :class:`Diagnostic`;
+    nothing stops the batch.
+    """
+    inferencer = Inferencer(env, instances, options, budget=budget, faults=faults)
+    result = BatchResult()
+    for index, source in enumerate(sources):
+        result.items.append(_check_one(inferencer, index, source))
+    return result
+
+
+def _check_one(inferencer: Inferencer, index: int, source: str) -> BatchItem:
+    item = BatchItem(index=index, source=source)
+    try:
+        term = _parse_contained(source)
+        item.type_ = str(inferencer.infer(term).type_)
+    except GIError as error:
+        severity = SEVERITY_INTERNAL if isinstance(error, InternalError) else SEVERITY_ERROR
+        phase = getattr(error, "phase", None)
+        item.diagnostic = Diagnostic(
+            severity=severity,
+            index=index,
+            error_class=type(error).__name__,
+            message=str(error),
+            phase=phase,
+        )
+    return item
+
+
+def _parse_contained(source: str):
+    """Parse, converting parser crashes (not parse errors) to GI errors.
+
+    ``Inferencer.infer`` contains internal failures of the *engine*, but
+    the parser runs before it; a pathological input that blows the
+    parser's recursion must still come out as a diagnostic.
+    """
+    try:
+        return parse_term(source)
+    except GIError:
+        raise
+    except (RecursionError, Exception) as error:  # noqa: BLE001 — containment
+        raise InternalError(error, phase="parse") from error
+
+
+def read_batch_file(path: str) -> list[str]:
+    """Read a batch file: one expression per line.
+
+    Blank lines and ``--`` comment lines are skipped; there is no
+    multi-line expression syntax.
+    """
+    sources: list[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("--"):
+                continue
+            sources.append(stripped)
+    return sources
+
+
+def render_text(result: BatchResult) -> str:
+    """The human-readable report printed by the CLI."""
+    lines: list[str] = []
+    for item in result.items:
+        if item.ok:
+            lines.append(f"#{item.index}: ok: {item.type_}")
+        else:
+            diagnostic = item.diagnostic
+            lines.append(
+                f"#{item.index}: {diagnostic.severity}"
+                f" [{diagnostic.error_class}]: {diagnostic.message}"
+            )
+    total = len(result.items)
+    failed = len(result.failures)
+    lines.append(f"{total - failed}/{total} passed, {failed} failed")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the solver and unifier.
+
+The engine exposes two hook points — one per solver worklist step, one
+per unifier recursion level.  A :class:`FaultPlan` arms either (or both)
+with a trigger: *fail at solver step N* or *raise at unification depth
+D*.  When the trigger fires the plan raises :class:`InjectedFaultError`,
+which is deliberately **not** a :class:`~repro.core.errors.GIError` —
+an injected fault simulates an internal bug, so the crash-containment
+layer at ``Inferencer.infer`` must convert it into an
+:class:`~repro.core.errors.InternalError` for the test to pass.
+
+Injection is deterministic: the solver and unifier report their own
+counters, so the same program and the same plan fire at exactly the same
+point on every run.
+
+Like :mod:`repro.robustness.budget`, this module imports nothing from
+:mod:`repro.core` so the engine can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class InjectedFaultError(RuntimeError):
+    """The deliberately non-GI exception raised by an armed fault plan."""
+
+
+@dataclass
+class FaultPlan:
+    """Where (if anywhere) to blow up during a run; ``None`` disarms."""
+
+    fail_at_solver_step: int | None = None
+    fail_at_unify_depth: int | None = None
+
+    fired: list[str] = field(default_factory=list, init=False)
+    """Descriptions of faults that fired, for test assertions."""
+
+    def start(self) -> "FaultPlan":
+        """Reset the fired log (the triggers themselves are stateless)."""
+        self.fired = []
+        return self
+
+    # -- hook points (called by the engine) -----------------------------
+
+    def solver_step(self, step: int, constraint=None) -> None:
+        if self.fail_at_solver_step is not None and step == self.fail_at_solver_step:
+            self.fired.append(f"solver_step={step}")
+            raise InjectedFaultError(
+                f"injected fault at solver step {step} (constraint: {constraint})"
+            )
+
+    def unify_depth(self, depth: int) -> None:
+        if self.fail_at_unify_depth is not None and depth == self.fail_at_unify_depth:
+            self.fired.append(f"unify_depth={depth}")
+            raise InjectedFaultError(f"injected fault at unification depth {depth}")

@@ -1,0 +1,140 @@
+"""The batch driver: many expressions, one budget each, full isolation.
+
+The acceptance scenario: a file mixing well-typed, ill-typed and
+budget-busting expressions reports one diagnostic per failing item and
+still prints results for the rest.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.robustness import Budget, FaultPlan, check_batch, read_batch_file
+from repro.robustness.batch import render_text
+from repro.evalsuite.figure2 import figure2_env
+
+ENV = figure2_env()
+
+WELL_TYPED = ["head ids", "runST $ argST", "single id"]
+ILL_TYPED = ["inc True", "frobnicate"]
+DEEP_PARENS = "(" * 800 + "head ids" + ")" * 800
+"""Parseable only with unbounded recursion — a parser-phase crash."""
+
+BUSY = "app (app (app id id) (app id id)) (app (app id id) (app id id))"
+"""Well-typed but needs far more solver steps than the tiny test budget."""
+
+
+class TestCheckBatch:
+    def test_mixed_batch_reports_every_item(self):
+        sources = WELL_TYPED + ILL_TYPED + [DEEP_PARENS]
+        result = check_batch(sources, ENV, budget=Budget(max_solver_steps=500))
+        assert len(result.items) == len(sources)
+        assert [item.ok for item in result.items] == [True] * 3 + [False] * 3
+        assert not result.ok
+
+    def test_one_diagnostic_per_failure(self):
+        result = check_batch(WELL_TYPED + ILL_TYPED, ENV)
+        classes = [d.error_class for d in result.diagnostics]
+        assert classes == ["UnificationError", "ScopeError"]
+        assert [d.index for d in result.diagnostics] == [3, 4]
+        assert all(d.severity == "error" for d in result.diagnostics)
+
+    def test_budget_busting_item_is_isolated(self):
+        # The busy item exhausts its budget; its neighbours (checked
+        # under the same re-armed Budget object) are unaffected.
+        sources = ["head ids", BUSY, "runST $ argST"]
+        result = check_batch(sources, ENV, budget=Budget(max_solver_steps=40))
+        assert [item.ok for item in result.items] == [True, False, True]
+        diagnostic = result.items[1].diagnostic
+        assert diagnostic.error_class == "BudgetExceededError"
+        assert diagnostic.phase == "solver"
+
+    def test_parser_crash_is_contained(self):
+        result = check_batch([DEEP_PARENS], ENV)
+        diagnostic = result.items[0].diagnostic
+        assert diagnostic.severity == "internal"
+        assert diagnostic.error_class == "InternalError"
+        assert diagnostic.phase == "parse"
+
+    def test_injected_fault_is_one_internal_diagnostic(self):
+        result = check_batch(
+            ["head ids"], ENV, faults=FaultPlan(fail_at_solver_step=1)
+        )
+        diagnostic = result.items[0].diagnostic
+        assert diagnostic.severity == "internal"
+        assert diagnostic.error_class == "InternalError"
+
+    def test_successes_carry_types(self):
+        result = check_batch(WELL_TYPED, ENV)
+        assert result.ok
+        assert [item.type_ for item in result.items] == [
+            "forall a. a -> a",
+            "Int",
+            "forall a. [a -> a]",
+        ]
+
+    def test_to_dict_shape(self):
+        result = check_batch(["head ids", "inc True"], ENV)
+        payload = result.to_dict()
+        assert payload["total"] == 2
+        assert payload["passed"] == 1
+        assert payload["failed"] == 1
+        assert payload["items"][0]["ok"] is True
+        assert payload["items"][1]["diagnostic"]["error_class"] == "UnificationError"
+        json.dumps(payload)  # must be JSON-serialisable as-is
+
+
+class TestBatchFile:
+    def test_read_skips_blanks_and_comments(self, tmp_path):
+        path = tmp_path / "exprs.gi"
+        path.write_text("-- header\nhead ids\n\n  \nruncomment -- no\ninc True\n")
+        assert read_batch_file(str(path)) == [
+            "head ids",
+            "runcomment -- no",
+            "inc True",
+        ]
+
+
+class TestBatchCLI:
+    def _write(self, tmp_path, sources):
+        path = tmp_path / "batch.gi"
+        path.write_text("\n".join(sources) + "\n")
+        return str(path)
+
+    def test_all_pass_exits_zero(self, tmp_path, capsys):
+        assert main(["batch", self._write(tmp_path, WELL_TYPED)]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 passed, 0 failed" in out
+
+    def test_failures_exit_nonzero_but_report_everything(self, tmp_path, capsys):
+        path = self._write(tmp_path, WELL_TYPED + ILL_TYPED + [DEEP_PARENS])
+        assert main(["batch", path, "--max-steps", "500"]) == 1
+        out = capsys.readouterr().out
+        assert "#0: ok: forall a. a -> a" in out
+        assert "#3: error [UnificationError]" in out
+        assert "#4: error [ScopeError]" in out
+        assert "#5: internal [InternalError]" in out
+        assert "3/6 passed, 3 failed" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self._write(tmp_path, ["head ids", "inc True"])
+        assert main(["batch", path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 1
+        assert payload["items"][1]["diagnostic"]["severity"] == "error"
+
+    def test_budget_flags(self, tmp_path, capsys):
+        path = self._write(tmp_path, ["head ids", BUSY])
+        assert main(["batch", path, "--max-steps", "40"]) == 1
+        out = capsys.readouterr().out
+        assert "#0: ok" in out
+        assert "BudgetExceededError" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["batch", "/nonexistent/exprs.gi"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_render_text_totals(self):
+        result = check_batch(["head ids"], ENV)
+        assert render_text(result).endswith("1/1 passed, 0 failed")

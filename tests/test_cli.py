@@ -42,3 +42,38 @@ class TestCLI:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+DEEP_EXPRESSION = "(" * 2000 + "x" + ")" * 2000
+"""Nests far past the recursion limit of the recursive-descent parser."""
+
+
+class TestCrashContainment:
+    """No command may ever print a raw traceback (robustness satellite)."""
+
+    def test_infer_deep_expression(self, capsys):
+        assert main(["infer", DEEP_EXPRESSION]) == 1
+        err = capsys.readouterr().err
+        assert "internal error (RecursionError)" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1  # a one-line diagnostic
+
+    def test_run_deep_expression(self, capsys):
+        assert main(["run", DEEP_EXPRESSION]) == 1
+        assert "internal error" in capsys.readouterr().err
+
+    def test_check_deep_expression(self, capsys):
+        assert main(["check", DEEP_EXPRESSION, "Int"]) == 1
+        assert "internal error" in capsys.readouterr().err
+
+    def test_elaborate_deep_expression(self, capsys):
+        assert main(["elaborate", DEEP_EXPRESSION]) == 1
+        assert "internal error" in capsys.readouterr().err
+
+    def test_repl_survives_deep_expression(self, capsys, monkeypatch):
+        lines = iter([DEEP_EXPRESSION, "head ids", ":q"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        out = capsys.readouterr().out
+        assert "internal error (RecursionError)" in out
+        assert "forall a. a -> a" in out  # the loop kept going

@@ -1,0 +1,103 @@
+"""One minimal trigger per public GIError subclass.
+
+Each test asserts on the *class* of the rejection, not just its message,
+so downstream tooling (the batch driver's ``error_class`` field, editor
+integrations) can rely on the taxonomy staying stable.
+"""
+
+import pytest
+
+from repro.core import Inferencer, InferOptions
+from repro.core.constraints import Inst
+from repro.core.errors import (
+    AnnotationNeededError,
+    GIError,
+    MissingInstanceError,
+    OccursCheckError,
+    ScopeError,
+    SkolemEscapeError,
+    SortError,
+    StuckConstraintError,
+    UnificationError,
+)
+from repro.core.names import NameSupply
+from repro.core.solver import Solver
+from repro.core.sorts import Sort
+from repro.core.types import INT
+from repro.syntax import parse_term, parse_type
+from repro.typeclasses import standard_instances
+from repro.evalsuite.figure2 import figure2_env
+
+ENV = figure2_env().extended_many(
+    {"eq": parse_type("forall a. Eq a => a -> a -> Bool")}
+)
+
+
+def reject(source: str, **kwargs):
+    with pytest.raises(GIError) as info:
+        Inferencer(ENV, **kwargs).infer(parse_term(source))
+    return info.value
+
+
+class TestTaxonomy:
+    def test_unification_error(self):
+        error = reject("inc True")
+        assert type(error) is UnificationError
+
+    def test_occurs_check_error(self):
+        error = reject(r"\x -> x x")
+        assert type(error) is OccursCheckError
+        assert isinstance(error, UnificationError)  # a refinement, not a sibling
+
+    def test_sort_error(self):
+        error = reject("map poly (single id)")  # Figure 2 row C9
+        assert type(error) is SortError
+        assert error.sort is Sort.M
+
+    def test_skolem_escape_error(self):
+        error = reject(r"\xs -> poly (head xs)")  # Figure 2 row B2
+        assert type(error) is SkolemEscapeError
+
+    def test_stuck_constraint_error(self):
+        # No surface program leaves a non-class constraint stuck — the
+        # solver defaults blocked unrestricted variables (Section 4.3.2).
+        # With defaulting disabled the same one-constraint program must
+        # fail deterministically instead.
+        solver = Solver(NameSupply("u"), defaulting=False)
+        blocked = solver.unifier.fresh(Sort.U, 0)
+        with pytest.raises(StuckConstraintError) as info:
+            solver.solve([Inst(blocked, Sort.M, (), (), INT, None)])
+        assert info.value.constraints
+
+    def test_scope_error(self):
+        error = reject("frobnicate")
+        assert type(error) is ScopeError
+        assert error.name == "frobnicate"
+
+    def test_annotation_needed_error(self):
+        # An ambiguous residual constraint: `Eq` on a type variable that
+        # the inferred type (Int) never mentions, so no caller can ever
+        # discharge it.
+        error = reject(
+            r"let f = \x -> eq x x in 1", instances=standard_instances()
+        )
+        assert type(error) is AnnotationNeededError
+        assert "annotation" in str(error)
+
+    def test_missing_instance_error(self):
+        error = reject("eq not not", instances=standard_instances())
+        assert type(error) is MissingInstanceError
+        assert error.constraint.class_name == "Eq"
+
+    def test_every_class_is_a_gi_error(self):
+        for subclass in (
+            UnificationError,
+            OccursCheckError,
+            SortError,
+            SkolemEscapeError,
+            StuckConstraintError,
+            ScopeError,
+            AnnotationNeededError,
+            MissingInstanceError,
+        ):
+            assert issubclass(subclass, GIError)

@@ -1,0 +1,142 @@
+"""The fault-injection harness: the engine never crashes, it diagnoses.
+
+For every Figure 2 example we inject failures at solver steps and
+unification depths, and exhaust every kind of budget — and assert the
+engine always yields either a typed result or a :class:`GIError`
+subclass (with phase/counter metadata for budgets), never an uncaught
+Python exception.
+"""
+
+import pytest
+
+from repro.core import Inferencer
+from repro.core.errors import BudgetExceededError, GIError, InternalError
+from repro.robustness import Budget, FaultPlan, InjectedFaultError
+from repro.evalsuite.figure2 import FIGURE2, figure2_env
+
+ENV = figure2_env()
+
+
+def _profile(example):
+    """Run one example cleanly, returning (solver_steps, peak_unify_depth)."""
+    budget = Budget()
+    try:
+        Inferencer(ENV, budget=budget).infer(example.term)
+    except GIError:
+        pass
+    return budget.solver_steps, budget.peak_unify_depth
+
+
+def _outcome(inferencer, term):
+    """Type string, or the GIError raised; anything else escapes loudly."""
+    try:
+        return str(inferencer.infer(term).type_)
+    except GIError as error:
+        return error
+
+
+class TestFaultPlanTriggers:
+    def test_solver_step_fault_fires_deterministically(self):
+        from repro.syntax import parse_term
+
+        term = parse_term("app runST argST")  # Figure 2 row D4, many steps
+        plan = FaultPlan(fail_at_solver_step=2)
+        gi = Inferencer(ENV, faults=plan)
+        with pytest.raises(InternalError):
+            gi.infer(term)
+        assert plan.fired == ["solver_step=2"]
+        with pytest.raises(InternalError):
+            gi.infer(term)
+        assert plan.fired == ["solver_step=2"]  # re-armed per run
+
+    def test_unify_depth_fault_fires(self):
+        plan = FaultPlan(fail_at_unify_depth=1)
+        gi = Inferencer(ENV, faults=plan)
+        with pytest.raises(InternalError) as info:
+            gi.infer(FIGURE2[0].term)
+        assert info.value.original_class == "InjectedFaultError"
+        assert plan.fired == ["unify_depth=1"]
+
+    def test_disarmed_plan_is_invisible(self):
+        plain = _outcome(Inferencer(ENV), FIGURE2[0].term)
+        hooked = _outcome(Inferencer(ENV, faults=FaultPlan()), FIGURE2[0].term)
+        assert str(plain) == str(hooked)
+
+    def test_raw_fault_never_escapes(self):
+        # The raw InjectedFaultError must be contained; only its
+        # InternalError wrapping may surface.
+        gi = Inferencer(ENV, faults=FaultPlan(fail_at_solver_step=1))
+        try:
+            gi.infer(FIGURE2[0].term)
+        except InjectedFaultError:  # pragma: no cover — the failure mode
+            pytest.fail("injected fault escaped the containment boundary")
+        except GIError:
+            pass
+
+
+class TestFigure2NeverCrashes:
+    """The acceptance sweep: injection at any point yields a GIError."""
+
+    @pytest.mark.parametrize("example", FIGURE2, ids=lambda e: e.key)
+    def test_solver_step_injection(self, example):
+        steps, _ = _profile(example)
+        probe_points = sorted({1, max(1, steps // 2), max(1, steps)})
+        for step in probe_points:
+            gi = Inferencer(ENV, faults=FaultPlan(fail_at_solver_step=step))
+            outcome = _outcome(gi, example.term)
+            if isinstance(outcome, GIError):
+                continue  # contained (or the original type error came first)
+            assert isinstance(outcome, str)  # fault point past the run's end
+
+    @pytest.mark.parametrize("example", FIGURE2, ids=lambda e: e.key)
+    def test_unify_depth_injection(self, example):
+        _, depth = _profile(example)
+        for target in sorted({1, max(1, depth)}):
+            gi = Inferencer(ENV, faults=FaultPlan(fail_at_unify_depth=target))
+            outcome = _outcome(gi, example.term)
+            assert isinstance(outcome, (GIError, str))
+
+    @pytest.mark.parametrize("example", FIGURE2, ids=lambda e: e.key)
+    def test_step_budget_exhaustion(self, example):
+        steps, _ = _profile(example)
+        for limit in sorted({1, max(1, steps // 2), max(1, steps - 1)}):
+            gi = Inferencer(ENV, budget=Budget(max_solver_steps=limit))
+            outcome = _outcome(gi, example.term)
+            if isinstance(outcome, BudgetExceededError):
+                assert outcome.phase in ("solver", "unify", "deadline")
+                assert outcome.counters["solver_steps"] >= 1
+            else:
+                # The example failed (or finished) before the fuel ran out;
+                # either way the outcome is well-delimited.
+                assert isinstance(outcome, (GIError, str))
+
+    @pytest.mark.parametrize("example", FIGURE2, ids=lambda e: e.key)
+    def test_depth_budget_exhaustion(self, example):
+        gi = Inferencer(ENV, budget=Budget(max_unify_depth=1))
+        outcome = _outcome(gi, example.term)
+        if isinstance(outcome, BudgetExceededError):
+            assert outcome.phase in ("unify", "deadline")
+            assert outcome.counters["peak_unify_depth"] >= 1
+        else:
+            assert isinstance(outcome, (GIError, str))
+
+    @pytest.mark.parametrize("example", FIGURE2[:5], ids=lambda e: e.key)
+    def test_expired_deadline(self, example):
+        gi = Inferencer(ENV, budget=Budget(wall_clock=0.0))
+        outcome = _outcome(gi, example.term)
+        assert isinstance(outcome, BudgetExceededError)
+        assert outcome.phase == "deadline"
+
+
+class TestCombinedBudgetAndFaults:
+    def test_budget_and_fault_compose(self):
+        from repro.syntax import parse_term
+
+        # Whichever trips first wins; both are well-delimited GI errors.
+        gi = Inferencer(
+            ENV,
+            budget=Budget(max_solver_steps=2),
+            faults=FaultPlan(fail_at_solver_step=2),
+        )
+        with pytest.raises(GIError):
+            gi.infer(parse_term("app runST argST"))

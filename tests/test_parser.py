@@ -192,3 +192,49 @@ class TestRoundTrip:
         for source in sources:
             term = parse_term(source)
             assert parse_term(pretty_term(term)) == term
+
+
+class TestErrorPositions:
+    """Every ParseError carries the line/column of the offending token
+    (the robustness satellite: positions flow from the lexer into the
+    error, including across newlines)."""
+
+    def _fail(self, source, parse=parse_term):
+        with pytest.raises(ParseError) as info:
+            parse(source)
+        return info.value
+
+    def test_malformed_term_reports_position(self):
+        error = self._fail("inc )")
+        assert (error.line, error.column) == (1, 5)
+        assert "1:5" in str(error)
+
+    def test_position_crosses_newlines(self):
+        error = self._fail("head\n  [1,")
+        assert error.line == 2
+        assert error.column == 6
+
+    def test_unterminated_string_position(self):
+        error = self._fail('f\n "abc')
+        assert (error.line, error.column) == (2, 2)
+
+    def test_unexpected_character_position(self):
+        error = self._fail("id ?")
+        assert (error.line, error.column) == (1, 4)
+
+    def test_missing_in_position(self):
+        error = self._fail("let x = 1")
+        assert (error.line, error.column) == (1, 10)
+
+    def test_type_error_position(self):
+        error = self._fail("forall .", parse=parse_type)
+        assert error.line == 1
+        assert error.column is not None
+
+    def test_empty_input_position(self):
+        error = self._fail("")
+        assert (error.line, error.column) == (1, 1)
+
+    def test_multiline_type_position(self):
+        error = self._fail("[Int ->\n  ]", parse=parse_type)
+        assert error.line == 2
