@@ -1,0 +1,34 @@
+module LensLibrary where
+
+-- The lens motivation from Section 2.4, as a module: "programmers think
+-- of a lens as a first-class value, and are perplexed when they cannot
+-- put a lens into a list".  We use the Identity-functor specialisation
+-- (a 'setter': (a -> a) -> s -> s), so the vocabulary stays inside the
+-- class-free core language; the quantifier structure is the same.
+
+first :: (Int -> Int) -> (Int, Bool) -> (Int, Bool)
+first = \f p -> pair (f (fst p)) (snd p)
+
+second :: (Bool -> Bool) -> (Int, Bool) -> (Int, Bool)
+second = \f p -> pair (fst p) (f (snd p))
+
+-- A *polymorphic* setter: the shape that needs impredicativity once it
+-- is stored in a container.
+idLens :: forall s. (s -> s) -> s -> s
+idLens = \f s -> f s
+
+over :: forall s. ((s -> s) -> s -> s) -> (s -> s) -> s -> s
+over = \ln f s -> ln f s
+
+-- The perplexing case: a list of polymorphic lenses.  The signature is
+-- the guard; the elements instantiate impredicatively.
+lenses :: [forall s. (s -> s) -> s -> s]
+lenses = idLens : [idLens]
+
+-- Retrieve a lens from the list and use it at two different structures:
+-- head instantiates its type variable to the polymorphic lens type.
+bumped = over (head lenses) inc 3
+
+flipped = over (head lenses) not True
+
+both = pair bumped flipped

@@ -16,13 +16,20 @@ sites.
 *setter* — so the example stays inside the class-free core language; the
 quantifier structure that defeats predicative systems is the same.)
 
+The same vocabulary ships as a real module file, ``lens_library.gi``,
+checked through the module layer at the end of the run (equivalent to
+``python -m repro module examples/lens_library.gi``).
+
 Run:  python examples/lens_library.py
 """
+
+from pathlib import Path
 
 from repro import Inferencer
 from repro.core.errors import GIError
 from repro.baselines import RankNInferencer
 from repro.evalsuite.figure2 import figure2_env
+from repro.modules import ModuleEngine, render_module_text
 from repro.syntax import parse_term, parse_type
 
 
@@ -90,6 +97,11 @@ def main() -> None:
             print("    RankN rejected (predicative systems cannot store "
                   "lenses in lists)")
         print()
+
+    print("=== the same library as a module file (lens_library.gi) ===\n")
+    module_path = Path(__file__).with_name("lens_library.gi")
+    result = ModuleEngine(figure2_env()).check_file(str(module_path))
+    print(render_module_text(result))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,19 @@
+module RunST where
+
+-- The `runST $ e` story (Section 2.4) as a module.  GHC ships a special
+-- typing rule for ($) just to make this compile; under guarded
+-- impredicativity the *ordinary* type of ($) suffices, so every binding
+-- below checks with no compiler magic.
+
+viaDollar :: Int
+viaDollar = runST $ argST
+
+-- The same instantiation through other ordinary higher-order functions
+-- (Figure 2 rows D4 and D5); these two bindings are unsigned, so their
+-- types are inferred and generalised.
+viaApp = app runST argST
+
+viaRevapp = revapp argST runST
+
+allRuns :: [Int]
+allRuns = viaDollar : (viaApp : [viaRevapp])

@@ -8,14 +8,19 @@ user-redefined operator behaves identically.
 
 This example takes the program through the whole pipeline:
 parse → infer → elaborate to System F → independently re-check →
-erase → execute.
+erase → execute.  The same programs also ship as a module file,
+``runst_pipeline.gi``, checked through the module layer at the end
+(equivalent to ``python -m repro module examples/runst_pipeline.gi``).
 
 Run:  python examples/runst_pipeline.py
 """
 
+from pathlib import Path
+
 from repro import Inferencer
 from repro.evalsuite.figure2 import figure2_env
 from repro.interp import evaluate, prelude_env
+from repro.modules import ModuleEngine, render_module_text
 from repro.syntax import parse_term, parse_type, pretty_term
 from repro.systemf import elaborate_result, erase, pretty_fterm, typecheck
 
@@ -64,6 +69,11 @@ def main() -> None:
     assert "@(forall s. ST s" in rendered
     print("note the impredicative type argument in:")
     print(f"  {rendered}")
+
+    print("\n=== the same programs as a module file (runst_pipeline.gi) ===\n")
+    module_path = Path(__file__).with_name("runst_pipeline.gi")
+    module_result = ModuleEngine(figure2_env()).check_file(str(module_path))
+    print(render_module_text(module_result))
 
 
 if __name__ == "__main__":

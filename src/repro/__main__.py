@@ -7,6 +7,7 @@ Subcommands::
     python -m repro run "runST $ argST"       # evaluate
     python -m repro elaborate "id : ids"      # show the System F witness
     python -m repro batch exprs.txt --json    # check many expressions
+    python -m repro module lib.gi --stats     # check a module file
     python -m repro figure2                   # regenerate the table
     python -m repro repl                      # interactive loop
 
@@ -109,6 +110,7 @@ def cmd_batch(
     max_depth: int | None,
     timeout: float | None,
     as_json: bool,
+    jobs: int,
 ) -> int:
     from repro.robustness import Budget, check_batch, read_batch_file, render_text
 
@@ -122,7 +124,7 @@ def cmd_batch(
         max_unify_depth=max_depth,
         wall_clock=timeout,
     )
-    result = check_batch(sources, figure2_env(), budget=budget)
+    result = check_batch(sources, figure2_env(), budget=budget, jobs=jobs)
     if as_json:
         print(json_module.dumps(result.to_dict(), indent=2))
     else:
@@ -130,9 +132,70 @@ def cmd_batch(
     return 0 if result.ok else 1
 
 
+def cmd_module(
+    path: str,
+    max_steps: int | None,
+    max_depth: int | None,
+    timeout: float | None,
+    as_json: bool,
+    jobs: int,
+    stats: bool,
+) -> int:
+    from repro.modules import ModuleEngine, render_module_text
+    from repro.robustness import Budget
+
+    budget = Budget(
+        max_solver_steps=max_steps,
+        max_unify_depth=max_depth,
+        wall_clock=timeout,
+    )
+    engine = ModuleEngine(figure2_env(), budget=budget, jobs=jobs)
+    try:
+        result = engine.check_file(path)
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    except GIError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except Exception as error:  # noqa: BLE001 — CLI containment
+        print(_internal_diagnostic(error), file=sys.stderr)
+        return 1
+    if as_json:
+        print(json_module.dumps(result.to_dict(include_stats=stats), indent=2))
+    else:
+        print(render_module_text(result, stats=stats))
+    return 0 if result.ok else 1
+
+
+_REPL_HELP = (
+    "commands: :t <e> show a type · :r <e> run · :load <file> check a module "
+    "and bring its bindings into scope · :browse list bindings · :q quit"
+)
+
+
+def _repl_load(gi: Inferencer, path: str, loaded: dict[str, str]) -> Inferencer:
+    """Check a module file and extend the REPL environment.
+
+    Returns the (possibly new) inferencer; prints a summary.  Bindings of
+    a partially failing module are still loaded when they checked.
+    """
+    from repro.modules import ModuleEngine, render_module_text
+
+    engine = ModuleEngine(gi.env)
+    result = engine.check_file(path)
+    if not result.ok:
+        print(render_module_text(result))
+    checked = result.types
+    loaded.update(checked)
+    print(f"loaded {len(checked)}/{len(result.reports)} bindings from {path}")
+    return Inferencer(result.env)
+
+
 def cmd_repl() -> int:
     gi = _inferencer()
-    print("guarded-impredicativity repl — :q to quit, :r <e> to run")
+    loaded: dict[str, str] = {}
+    print("guarded-impredicativity repl — :q to quit, :h for help")
     while True:
         try:
             line = input("gi> ").strip()
@@ -144,12 +207,28 @@ def cmd_repl() -> int:
         if line in (":q", ":quit"):
             return 0
         try:
-            if line.startswith(":r "):
+            if line in (":h", ":help", ":?"):
+                print(_REPL_HELP)
+            elif line == ":browse":
+                names = sorted(gi.env.names())
+                for name in names:
+                    origin = " (loaded)" if name in loaded else ""
+                    print(f"{name} :: {gi.env.lookup(name)}{origin}")
+            elif line.startswith(":load "):
+                gi = _repl_load(gi, line[6:].strip(), loaded)
+            elif line.startswith(":t "):
+                print(gi.infer(parse_term(line[3:])).type_)
+            elif line.startswith(":r "):
                 term = parse_term(line[3:])
                 gi.infer(term)
                 print(interp_run(term))
+            elif line.startswith(":"):
+                command = line.split()[0]
+                print(f"unknown command `{command}` — {_REPL_HELP}")
             else:
                 print(gi.infer(parse_term(line)).type_)
+        except OSError as error:
+            print(f"error: {error}")
         except GIError as error:
             print(f"error: {error}")
         except Exception as error:  # noqa: BLE001 — the repl must survive
@@ -186,6 +265,40 @@ def main(argv: list[str] | None = None) -> int:
     p_batch.add_argument(
         "--json", action="store_true", help="emit structured JSON diagnostics"
     )
+    p_batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="check expressions concurrently with N workers (order preserved)",
+    )
+    p_module = sub.add_parser(
+        "module",
+        help="check a module file: SCC binding groups, incremental cache",
+    )
+    p_module.add_argument("file")
+    p_module.add_argument(
+        "--max-steps", type=int, default=None, help="solver step budget per group"
+    )
+    p_module.add_argument(
+        "--max-depth", type=int, default=None, help="unification depth budget per group"
+    )
+    p_module.add_argument(
+        "--timeout", type=float, default=None, help="wall-clock seconds per group"
+    )
+    p_module.add_argument(
+        "--json", action="store_true", help="emit structured JSON results"
+    )
+    p_module.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="check independent binding groups concurrently with N workers",
+    )
+    p_module.add_argument(
+        "--stats",
+        action="store_true",
+        help="report cache hits/misses and per-group timings",
+    )
     sub.add_parser("figure2", help="regenerate Figure 2")
     sub.add_parser("repl", help="interactive loop")
 
@@ -205,6 +318,17 @@ def main(argv: list[str] | None = None) -> int:
             arguments.max_depth,
             arguments.timeout,
             arguments.json,
+            arguments.jobs,
+        )
+    if arguments.command == "module":
+        return cmd_module(
+            arguments.file,
+            arguments.max_steps,
+            arguments.max_depth,
+            arguments.timeout,
+            arguments.json,
+            arguments.jobs,
+            arguments.stats,
         )
     if arguments.command == "figure2":
         import runpy

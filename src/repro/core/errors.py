@@ -111,6 +111,52 @@ class AnnotationNeededError(TypeError_):
         super().__init__(f"type annotation needed: {what}")
 
 
+class DuplicateBindingError(GIError):
+    """A module defines the same top-level name twice (two definitions or
+    two signatures).  Carries both source positions so tooling can point at
+    the clashing declaration *and* the original."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        line: int | None = None,
+        column: int | None = None,
+        first_line: int | None = None,
+    ):
+        self.name = name
+        self.kind = kind  # "binding" or "signature"
+        self.line = line
+        self.column = column
+        self.first_line = first_line
+        location = f" at {line}:{column}" if line is not None else ""
+        earlier = f" (first {kind} at line {first_line})" if first_line is not None else ""
+        super().__init__(
+            f"duplicate {kind} for `{name}`{location}{earlier}"
+        )
+
+
+class CyclicBindingError(TypeError_):
+    """A recursive binding group contains members without type signatures.
+
+    GI has no implicit generalisation inside recursion (Section 3.5 treats
+    ``let`` as monomorphic), so every member of a strongly connected
+    binding group must declare its type; the error names the group and the
+    members that are missing signatures.
+    """
+
+    def __init__(self, group: tuple[str, ...], missing: tuple[str, ...]):
+        self.group = tuple(group)
+        self.missing = tuple(missing)
+        members = ", ".join(f"`{name}`" for name in self.group)
+        lacking = ", ".join(f"`{name}`" for name in self.missing)
+        shape = "recursive binding" if len(self.group) == 1 else "recursive binding group"
+        super().__init__(
+            f"{shape} {{{members}}} requires a type signature on every "
+            f"member; missing: {lacking}"
+        )
+
+
 class MissingInstanceError(TypeError_):
     """A class constraint could not be discharged from the instance
     environment or the local givens (Appendix B extension)."""

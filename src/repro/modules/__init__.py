@@ -1,0 +1,69 @@
+"""Module layer: multi-binding programs with SCC binding groups and
+incremental, cached re-checking.
+
+The pipeline, end to end::
+
+    parse_module  ──►  binding_groups  ──►  ModuleEngine.check_module
+    (parser.py)        (graph.py)           (engine.py, via checker.py
+                                             and cache.py)
+
+* :mod:`repro.modules.parser` — Haskell-like module files: top-level
+  ``name :: sig`` signatures and ``name = expr`` bindings;
+* :mod:`repro.modules.graph` — free-variable dependency graph, Tarjan
+  SCC condensation into binding groups, topological layers;
+* :mod:`repro.modules.checker` — per-group checking: declared signatures
+  as check-mode annotations, generalisation for unsigned non-recursive
+  bindings, :class:`~repro.core.errors.CyclicBindingError` for
+  unannotated recursion;
+* :mod:`repro.modules.cache` — content-hash result cache keyed on each
+  binding's source, signature, and dependency types;
+* :mod:`repro.modules.engine` — the incremental driver behind
+  ``python -m repro module`` and the REPL's ``:load``.
+"""
+
+from repro.modules.cache import CacheEntry, ModuleCache, binding_key, content_hash
+from repro.modules.checker import GroupOutcome, check_group
+from repro.modules.engine import (
+    BindingReport,
+    GroupTiming,
+    ModuleEngine,
+    ModuleResult,
+    ModuleStats,
+    render_module_text,
+)
+from repro.modules.graph import (
+    BindingGroup,
+    GraphSummary,
+    binding_groups,
+    dependencies,
+    dependents_closure,
+    strongly_connected_components,
+    topo_layers,
+)
+from repro.modules.parser import Binding, Module, parse_module, parse_module_file
+
+__all__ = [
+    "Binding",
+    "BindingGroup",
+    "BindingReport",
+    "CacheEntry",
+    "GraphSummary",
+    "GroupOutcome",
+    "GroupTiming",
+    "Module",
+    "ModuleCache",
+    "ModuleEngine",
+    "ModuleResult",
+    "ModuleStats",
+    "binding_groups",
+    "binding_key",
+    "check_group",
+    "content_hash",
+    "dependencies",
+    "dependents_closure",
+    "parse_module",
+    "parse_module_file",
+    "render_module_text",
+    "strongly_connected_components",
+    "topo_layers",
+]

@@ -1,0 +1,136 @@
+"""Content-addressed caching of per-binding inference results.
+
+Every binding's checked type is stored under a *key* that captures
+exactly the inputs its inference depends on:
+
+* the pretty-printed definition (so whitespace/comment edits miss
+  nothing and change nothing),
+* the pretty-printed declared signature (or its absence),
+* for every dependency, the dependency's name paired with the hash of
+  the *type* it checked to — a module-level dependency contributes the
+  hash of its checked type, an in-group (mutually recursive) dependency
+  contributes its declared signature, and a prelude name contributes its
+  environment type.
+
+Hash-chaining through dependency *types* (not dependency sources) gives
+early cutoff for free: editing the body of a leaf binding without
+changing its type leaves every dependent's key intact, so only the
+edited SCC re-checks.  When the edit does change the leaf's type, the
+key of every transitive dependent changes and exactly the invalidation
+footprint (:func:`repro.modules.graph.dependents_closure`) re-checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.env import Environment
+from repro.core.types import Type
+from repro.modules.graph import BindingGroup
+from repro.modules.parser import Binding
+
+
+def content_hash(text: str) -> str:
+    """A short, stable hex digest of ``text``."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """The checked result of one binding under one key."""
+
+    key: str
+    type_: Type
+    """The checked type itself.  Types are immutable, so serving the same
+    object across re-checks is safe — and keeps the warm path free of
+    type re-parsing, which would otherwise dominate it."""
+
+    type_text: str
+    """``str(type_)``, precomputed: it feeds the type hash and reports."""
+
+    @property
+    def type_hash(self) -> str:
+        return content_hash(self.type_text)
+
+
+@dataclass
+class ModuleCache:
+    """Per-binding result cache, keyed by content hash.
+
+    One cache instance is long-lived across re-checks of an evolving
+    module; :meth:`lookup` answers only when the stored key matches the
+    freshly computed one, so stale entries are simply never served (and
+    are overwritten by the next :meth:`store`).
+    """
+
+    entries: dict[str, CacheEntry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def peek(self, name: str, key: str) -> CacheEntry | None:
+        """Like :meth:`lookup` but without touching the hit/miss counters.
+
+        The engine decides hits at *group* granularity (a group re-checks
+        whole or not at all), so it peeks members first and accounts once
+        the group's fate is known.
+        """
+        entry = self.entries.get(name)
+        if entry is not None and entry.key == key:
+            return entry
+        return None
+
+    def lookup(self, name: str, key: str) -> CacheEntry | None:
+        entry = self.entries.get(name)
+        if entry is not None and entry.key == key:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, name: str, key: str, type_: Type) -> CacheEntry:
+        entry = CacheEntry(key=key, type_=type_, type_text=str(type_))
+        self.entries[name] = entry
+        return entry
+
+    def type_hash(self, name: str) -> str | None:
+        entry = self.entries.get(name)
+        return entry.type_hash if entry else None
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def binding_key(
+    binding: Binding,
+    group: BindingGroup,
+    dep_type_hashes: dict[str, str],
+    env: Environment,
+) -> str:
+    """The cache key of one binding inside its group.
+
+    ``dep_type_hashes`` maps already-checked module-level names to the
+    hash of their checked type.  In-group dependencies (the mutual
+    recursion case) are keyed by their declared signatures — which the
+    group requires anyway — and prelude names by their environment types.
+    """
+    members = set(group.names)
+    pieces = [binding.source_key]
+    for dependency in sorted(binding.free_term_vars()):
+        if dependency == binding.name:
+            continue
+        if dependency in members:
+            peer = next(b for b in group.bindings if b.name == dependency)
+            sig = "" if peer.signature is None else str(peer.signature)
+            pieces.append(f"{dependency}~sig:{content_hash(sig)}")
+        elif dependency in dep_type_hashes:
+            pieces.append(f"{dependency}~mod:{dep_type_hashes[dependency]}")
+        elif dependency in env:
+            pieces.append(f"{dependency}~env:{content_hash(str(env.lookup(dependency)))}")
+        else:
+            pieces.append(f"{dependency}~unbound")
+    return content_hash("\n".join(pieces))

@@ -24,6 +24,7 @@ eager re-export here would close that loop during interpreter start-up.
 
 from repro.robustness.budget import Budget
 from repro.robustness.faultinject import FaultPlan, InjectedFaultError
+from repro.robustness.pool import WorkerPool, clone_budget
 
 _BATCH_EXPORTS = (
     "BatchItem",
@@ -34,7 +35,14 @@ _BATCH_EXPORTS = (
     "render_text",
 )
 
-__all__ = ["Budget", "FaultPlan", "InjectedFaultError", *_BATCH_EXPORTS]
+__all__ = [
+    "Budget",
+    "FaultPlan",
+    "InjectedFaultError",
+    "WorkerPool",
+    "clone_budget",
+    *_BATCH_EXPORTS,
+]
 
 
 def __getattr__(name: str):

@@ -46,6 +46,9 @@ class Diagnostic:
     phase: str | None = None
     """Engine phase for budget/internal failures, when known."""
 
+    binding: str | None = None
+    """For module checking: the name of the top-level binding at fault."""
+
     def to_dict(self) -> dict:
         return {
             "severity": self.severity,
@@ -53,6 +56,7 @@ class Diagnostic:
             "error_class": self.error_class,
             "message": self.message,
             "phase": self.phase,
+            "binding": self.binding,
         }
 
 
@@ -113,19 +117,44 @@ def check_batch(
     options: InferOptions | None = None,
     budget: Budget | None = None,
     faults: FaultPlan | None = None,
+    jobs: int = 1,
 ) -> BatchResult:
     """Type-check every expression, isolating each under its own budget.
 
-    The same :class:`Budget` object is re-armed (:meth:`Budget.start`)
-    for every item, so a budget-busting expression cannot starve its
-    neighbours.  Every failure mode — parse error, type error, exhausted
-    budget, contained internal crash — yields one :class:`Diagnostic`;
-    nothing stops the batch.
+    Within one worker, the same :class:`Budget` object is re-armed
+    (:meth:`Budget.start`) for every item, so a budget-busting expression
+    cannot starve its neighbours.  Every failure mode — parse error, type
+    error, exhausted budget, contained internal crash — yields one
+    :class:`Diagnostic`; nothing stops the batch.
+
+    ``jobs > 1`` checks expressions concurrently through the shared
+    :class:`~repro.robustness.pool.WorkerPool` (the same pool the module
+    engine uses), each worker under its own cloned budget; results keep
+    input order.  Deterministic fault injection is inherently serial
+    (a :class:`FaultPlan` counts engine events in order), so a plan
+    forces ``jobs=1``.
     """
-    inferencer = Inferencer(env, instances, options, budget=budget, faults=faults)
+    from repro.robustness.pool import WorkerPool, clone_budget
+
+    sources = list(sources)
+    if faults is not None:
+        jobs = 1
+    if jobs <= 1:
+        inferencer = Inferencer(env, instances, options, budget=budget, faults=faults)
+        result = BatchResult()
+        for index, source in enumerate(sources):
+            result.items.append(_check_one(inferencer, index, source))
+        return result
+
+    pool = WorkerPool(jobs=jobs, budget_factory=lambda: clone_budget(budget))
+
+    def run(indexed: tuple[int, str], worker_budget: Budget | None) -> BatchItem:
+        index, source = indexed
+        worker = Inferencer(env, instances, options, budget=worker_budget)
+        return _check_one(worker, index, source)
+
     result = BatchResult()
-    for index, source in enumerate(sources):
-        result.items.append(_check_one(inferencer, index, source))
+    result.items.extend(pool.map(run, list(enumerate(sources))))
     return result
 
 

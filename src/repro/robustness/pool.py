@@ -1,0 +1,74 @@
+"""An order-preserving worker pool with one :class:`Budget` per worker.
+
+Both concurrent entry points — the module engine's per-layer group
+checking and ``repro batch --jobs`` — funnel through this pool, so the
+concurrency story lives in exactly one place:
+
+* results come back in submission order, whatever order workers finish;
+* every worker thread owns a private :class:`Budget` built by the
+  ``budget_factory``, because a ``Budget`` re-arms (:meth:`Budget.start`)
+  and mutates counters per run and therefore must never be shared across
+  threads;
+* ``jobs <= 1`` short-circuits to a plain serial loop — no threads, no
+  scheduling noise, bit-identical to the historical behaviour.
+
+The work function receives ``(item, budget)`` and is responsible for its
+own containment: anything it raises propagates out of :meth:`map` after
+all submitted work has been scheduled, so pool users hand it functions
+that return diagnostics instead of raising (see
+:func:`repro.robustness.batch.check_batch`).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.robustness.budget import Budget
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def clone_budget(budget: Budget | None) -> Budget | None:
+    """A fresh, un-started budget with the same limits."""
+    if budget is None:
+        return None
+    return Budget(
+        max_solver_steps=budget.max_solver_steps,
+        max_unify_depth=budget.max_unify_depth,
+        wall_clock=budget.wall_clock,
+    )
+
+
+@dataclass
+class WorkerPool:
+    """A bounded pool; see the module docstring for the contract."""
+
+    jobs: int = 1
+    budget_factory: Callable[[], Budget | None] | None = None
+
+    def map(
+        self,
+        fn: Callable[[Item, Budget | None], Result],
+        items: Sequence[Item] | Iterable[Item],
+    ) -> list[Result]:
+        """Apply ``fn`` to every item, preserving input order."""
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            budget = self._make_budget()
+            return [fn(item, budget) for item in items]
+        local = threading.local()
+
+        def run(item: Item) -> Result:
+            if not hasattr(local, "budget"):
+                local.budget = self._make_budget()
+            return fn(item, local.budget)
+
+        with ThreadPoolExecutor(max_workers=self.jobs) as executor:
+            return list(executor.map(run, items))
+
+    def _make_budget(self) -> Budget | None:
+        return self.budget_factory() if self.budget_factory else None

@@ -138,3 +138,53 @@ class TestBatchCLI:
     def test_render_text_totals(self):
         result = check_batch(["head ids"], ENV)
         assert render_text(result).endswith("1/1 passed, 0 failed")
+
+
+class TestBatchJobs:
+    """``check_batch`` through the worker pool (``--jobs N``)."""
+
+    def test_concurrent_matches_serial(self):
+        sources = (WELL_TYPED + ILL_TYPED) * 4
+        serial = check_batch(sources, ENV)
+        concurrent = check_batch(sources, ENV, jobs=4)
+        assert [i.type_ for i in concurrent.items] == [
+            i.type_ for i in serial.items
+        ]
+        assert [i.ok for i in concurrent.items] == [i.ok for i in serial.items]
+        assert [d.index for d in concurrent.diagnostics] == [
+            d.index for d in serial.diagnostics
+        ]
+
+    def test_concurrent_budget_isolated_per_worker(self):
+        sources = ["head ids", BUSY, "runST $ argST", BUSY, "head ids"]
+        result = check_batch(
+            sources, ENV, budget=Budget(max_solver_steps=40), jobs=3
+        )
+        assert [item.ok for item in result.items] == [
+            True, False, True, False, True,
+        ]
+        assert all(
+            item.diagnostic.error_class == "BudgetExceededError"
+            for item in result.items
+            if not item.ok
+        )
+
+    def test_faults_force_serial(self):
+        # Deterministic fault injection is meaningless across threads, so
+        # a FaultPlan pins the run to one worker: jobs=4 behaves exactly
+        # like the serial run, fault firings included.
+        sources = ["head ids", "single id"]
+        serial_plan = FaultPlan(fail_at_solver_step=1)
+        serial = check_batch(sources, ENV, faults=serial_plan)
+        pooled_plan = FaultPlan(fail_at_solver_step=1)
+        pooled = check_batch(sources, ENV, faults=pooled_plan, jobs=4)
+        assert [i.ok for i in pooled.items] == [i.ok for i in serial.items]
+        assert pooled_plan.fired == serial_plan.fired
+
+    def test_jobs_flag_on_cli(self, tmp_path, capsys):
+        path = tmp_path / "exprs.gi"
+        path.write_text("\n".join(WELL_TYPED * 3) + "\n")
+        assert main(["batch", str(path), "--jobs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "9/9 passed, 0 failed" in out
+        assert out.index("#0: ok") < out.index("#8: ok")

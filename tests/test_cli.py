@@ -77,3 +77,122 @@ class TestCrashContainment:
         out = capsys.readouterr().out
         assert "internal error (RecursionError)" in out
         assert "forall a. a -> a" in out  # the loop kept going
+
+
+MODULE_OK = """\
+module Demo where
+
+setters :: [forall a. a -> a]
+setters = id : ids
+
+pick = head setters
+"""
+
+MODULE_BAD = "good :: Int\ngood = 1\nbad = inc True\nhurt = single bad\n"
+
+
+class TestModuleCLI:
+    def _write(self, tmp_path, source):
+        path = tmp_path / "demo.gi"
+        path.write_text(source)
+        return str(path)
+
+    def test_module_ok(self, tmp_path, capsys):
+        assert main(["module", self._write(tmp_path, MODULE_OK)]) == 0
+        out = capsys.readouterr().out
+        assert "setters :: [forall a. a -> a]" in out
+        assert "pick :: forall a. a -> a" in out
+        assert "2/2 bindings checked, 0 failed" in out
+
+    def test_module_failures_exit_1(self, tmp_path, capsys):
+        assert main(["module", self._write(tmp_path, MODULE_BAD)]) == 1
+        out = capsys.readouterr().out
+        assert "UnificationError" in out
+        assert "SkippedBinding" in out
+        assert "1/3 bindings checked, 2 failed" in out
+
+    def test_module_json(self, tmp_path, capsys):
+        import json
+
+        assert main(["module", self._write(tmp_path, MODULE_BAD), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] == 1 and payload["failed"] == 2
+        classes = {
+            item["name"]: (item["diagnostic"] or {}).get("error_class")
+            for item in payload["bindings"]
+        }
+        assert classes["bad"] == "UnificationError"
+        assert classes["hurt"] == "SkippedBinding"
+        assert "stats" not in payload
+
+    def test_module_stats_json(self, tmp_path, capsys):
+        import json
+
+        path = self._write(tmp_path, MODULE_OK)
+        assert main(["module", path, "--json", "--stats"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["cache_misses"] == 2
+        assert payload["stats"]["groups_checked"] == 2
+
+    def test_module_jobs(self, tmp_path, capsys):
+        assert main(["module", self._write(tmp_path, MODULE_OK), "--jobs", "4"]) == 0
+        assert "2/2 bindings checked" in capsys.readouterr().out
+
+    def test_module_missing_file(self, capsys):
+        assert main(["module", "/nonexistent/demo.gi"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_module_parse_error(self, tmp_path, capsys):
+        assert main(["module", self._write(tmp_path, "x = inc )\n")]) == 1
+        assert "parse error" in capsys.readouterr().err
+
+    def test_module_duplicate_binding(self, tmp_path, capsys):
+        assert main(["module", self._write(tmp_path, "x = 1\nx = 2\n")]) == 1
+        assert "duplicate binding" in capsys.readouterr().err
+
+    def test_shipped_examples_check(self, capsys):
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parent.parent / "examples"
+        for name in ("lens_library.gi", "runst_pipeline.gi"):
+            assert main(["module", str(examples / name)]) == 0, name
+        assert "0 failed" in capsys.readouterr().out
+
+
+class TestReplCommands:
+    def _run(self, monkeypatch, lines):
+        feed = iter(lines + [":q"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(feed))
+        return main(["repl"])
+
+    def test_load_brings_bindings_into_scope(self, tmp_path, capsys, monkeypatch):
+        path = tmp_path / "demo.gi"
+        path.write_text(MODULE_OK)
+        assert self._run(monkeypatch, [f":load {path}", "pick 3"]) == 0
+        out = capsys.readouterr().out
+        assert "loaded 2/2 bindings" in out
+        assert "Int" in out
+
+    def test_load_missing_file(self, capsys, monkeypatch):
+        assert self._run(monkeypatch, [":load /nope.gi", "head ids"]) == 0
+        out = capsys.readouterr().out
+        assert "No such file or directory" in out
+        assert "forall a. a -> a" in out  # the loop kept going
+
+    def test_browse_marks_loaded_bindings(self, tmp_path, capsys, monkeypatch):
+        path = tmp_path / "demo.gi"
+        path.write_text(MODULE_OK)
+        assert self._run(monkeypatch, [f":load {path}", ":browse"]) == 0
+        out = capsys.readouterr().out
+        assert "pick :: forall a. a -> a (loaded)" in out
+        assert "tail :: forall p. [p] -> [p]" in out
+
+    def test_unknown_command_prints_help(self, capsys, monkeypatch):
+        assert self._run(monkeypatch, [":frobnicate"]) == 0
+        out = capsys.readouterr().out
+        assert "unknown command `:frobnicate`" in out
+        assert ":load <file>" in out
+
+    def test_help_command(self, capsys, monkeypatch):
+        assert self._run(monkeypatch, [":help"]) == 0
+        assert ":browse" in capsys.readouterr().out

@@ -101,3 +101,40 @@ class TestTaxonomy:
             MissingInstanceError,
         ):
             assert issubclass(subclass, GIError)
+
+
+class TestModuleTaxonomy:
+    """The module layer's additions to the taxonomy."""
+
+    def test_cyclic_binding_error(self):
+        from repro.core.errors import CyclicBindingError, TypeError_
+        from repro.modules import ModuleEngine
+
+        result = ModuleEngine(ENV).check_source("f = \\x -> g x\ng = \\x -> f x\n")
+        diagnostic = result.reports[0].diagnostic
+        assert diagnostic.error_class == "CyclicBindingError"
+        error = CyclicBindingError(("f", "g"), ("f", "g"))
+        assert isinstance(error, TypeError_)  # a type error, not a parse error
+        assert error.group == ("f", "g")
+        assert "requires a type signature on every member" in str(error)
+
+    def test_duplicate_binding_error(self):
+        from repro.core.errors import DuplicateBindingError
+        from repro.modules import parse_module
+
+        with pytest.raises(DuplicateBindingError) as info:
+            parse_module("x = 1\nx = 2\n")
+        error = info.value
+        assert isinstance(error, GIError)
+        assert (error.name, error.kind) == ("x", "binding")
+        assert (error.line, error.first_line) == (2, 1)
+
+    def test_both_classify_in_module_json(self):
+        from repro.modules import ModuleEngine
+
+        result = ModuleEngine(ENV).check_source("loop = \\x -> loop x\n")
+        payload = result.to_dict()
+        assert (
+            payload["bindings"][0]["diagnostic"]["error_class"]
+            == "CyclicBindingError"
+        )

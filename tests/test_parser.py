@@ -19,7 +19,7 @@ from repro.core.types import (
 )
 from repro.syntax import parse_term, parse_type, pretty_term, pretty_type, tokenize
 
-from tests.strategies import polytypes
+from tests.strategies import hm_terms, polytypes
 
 
 class TestLexer:
@@ -192,6 +192,10 @@ class TestRoundTrip:
         for source in sources:
             term = parse_term(source)
             assert parse_term(pretty_term(term)) == term
+
+    @given(hm_terms())
+    def test_generated_terms_roundtrip(self, term):
+        assert parse_term(pretty_term(term)) == term
 
 
 class TestErrorPositions:

@@ -1,0 +1,76 @@
+"""The order-preserving worker pool behind ``--jobs``."""
+
+import threading
+import time
+
+from repro.robustness import Budget, WorkerPool, clone_budget
+
+
+class TestCloneBudget:
+    def test_none_passes_through(self):
+        assert clone_budget(None) is None
+
+    def test_limits_copied_state_not_shared(self):
+        original = Budget(max_solver_steps=7, max_unify_depth=9, wall_clock=0.5)
+        original.start()
+        original.check_solver_step(3)
+        clone = clone_budget(original)
+        assert clone is not original
+        assert clone.max_solver_steps == 7
+        assert clone.max_unify_depth == 9
+        assert clone.wall_clock == 0.5
+        assert clone.solver_steps == 0
+
+
+class TestWorkerPool:
+    def test_serial_path_preserves_order(self):
+        pool = WorkerPool(jobs=1)
+        assert pool.map(lambda x, _: x * x, range(10)) == [
+            n * n for n in range(10)
+        ]
+
+    def test_serial_path_spawns_no_threads(self):
+        pool = WorkerPool(jobs=1)
+        main = threading.current_thread()
+        threads = pool.map(lambda x, _: threading.current_thread(), range(4))
+        assert all(thread is main for thread in threads)
+
+    def test_concurrent_map_preserves_order(self):
+        # Early items sleep longest, so completion order is reversed —
+        # the results must still come back in submission order.
+        def slow_square(x, _budget):
+            time.sleep((8 - x) * 0.005)
+            return x * x
+
+        pool = WorkerPool(jobs=4)
+        assert pool.map(slow_square, range(8)) == [n * n for n in range(8)]
+
+    def test_each_worker_thread_gets_its_own_budget(self):
+        budgets = {}
+        lock = threading.Lock()
+        barrier = threading.Barrier(3, timeout=5)
+
+        def record(x, budget):
+            if x < 3:
+                barrier.wait()  # force three distinct worker threads
+            with lock:
+                budgets[threading.get_ident()] = budget
+            return x
+
+        pool = WorkerPool(jobs=3, budget_factory=lambda: Budget(max_solver_steps=5))
+        pool.map(record, range(6))
+        assert len(budgets) >= 3
+        distinct = list(budgets.values())
+        assert all(b is not None for b in distinct)
+        # Budgets are per-thread objects, never shared between threads.
+        assert len({id(b) for b in distinct}) == len(distinct)
+
+    def test_no_factory_means_no_budget(self):
+        pool = WorkerPool(jobs=2)
+        budgets = pool.map(lambda x, budget: budget, range(4))
+        assert budgets == [None, None, None, None]
+
+    def test_single_item_never_threads(self):
+        pool = WorkerPool(jobs=8)
+        main = threading.current_thread()
+        assert pool.map(lambda x, _: threading.current_thread(), [1]) == [main]
