@@ -1,0 +1,111 @@
+"""Tracer overhead on the Figure-2 sweep: off vs disabled vs on vs JSONL.
+
+The observability layer's contract is that *not* using it is free: every
+instrumentation site is guarded by ``tracer is not None and
+tracer.enabled``, so a pipeline built with ``tracer=None`` (the default)
+or with the shared :data:`NULL_TRACER` must run at the same speed as the
+uninstrumented engine did.  This bench measures the full Figure-2
+inference sweep under four configurations and writes the numbers to
+``BENCH_observability.json`` at the repo root:
+
+* ``off``      — ``tracer=None`` (the baseline every guard short-circuits);
+* ``disabled`` — ``NULL_TRACER`` passed explicitly (``enabled`` is False);
+* ``enabled``  — a live :class:`Tracer` buffering spans/events in memory;
+* ``jsonl``    — a live tracer streaming every event to a JSONL file.
+
+The acceptance bar is that ``disabled`` costs < 5% over ``off``.  Runs
+are interleaved (one pass per mode per repeat, minimum taken) so a
+machine-load spike hits all modes alike rather than biasing one.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the quick CI variant; the <5% assertion
+holds in both modes.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.errors import GIError
+from repro.core.infer import Inferencer
+from repro.evalsuite.figure2 import FIGURE2, figure2_env
+from repro.observability import NULL_TRACER, JsonlWriter, Tracer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+REPEATS = 3 if SMOKE else 9
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+
+ENV = figure2_env()
+TERMS = [example.term for example in FIGURE2]
+
+
+def _sweep(tracer) -> int:
+    """Infer every Figure-2 term under ``tracer``; returns accept count."""
+    inferencer = Inferencer(ENV, tracer=tracer)
+    accepted = 0
+    for term in TERMS:
+        try:
+            inferencer.infer(term)
+            accepted += 1
+        except GIError:
+            pass
+    return accepted
+
+
+def _timed_sweep(tracer_factory) -> tuple[int, float]:
+    tracer = tracer_factory()
+    start = time.perf_counter()
+    accepted = _sweep(tracer)
+    return accepted, time.perf_counter() - start
+
+
+def test_bench_tracer_overhead(tmp_path):
+    jsonl_path = tmp_path / "sweep.jsonl"
+
+    def jsonl_tracer():
+        # Re-truncate per pass so every repeat writes the same volume.
+        return Tracer(sink=JsonlWriter(open(jsonl_path, "w", encoding="utf-8")))
+
+    modes = {
+        "off": lambda: None,
+        "disabled": lambda: NULL_TRACER,
+        "enabled": Tracer,
+        "jsonl": jsonl_tracer,
+    }
+    times = {name: [] for name in modes}
+    accepts = set()
+    for _ in range(REPEATS):
+        for name, factory in modes.items():
+            accepted, seconds = _timed_sweep(factory)
+            accepts.add(accepted)
+            times[name].append(seconds)
+
+    # Every mode must agree on the sweep's verdicts — tracing is
+    # observation, never behaviour.
+    assert len(accepts) == 1, accepts
+
+    best = {name: min(samples) for name, samples in times.items()}
+    disabled_overhead_pct = 100.0 * (best["disabled"] - best["off"]) / best["off"]
+
+    # The acceptance bar: a disabled tracer is within noise of no tracer.
+    assert disabled_overhead_pct < 5.0, (best["disabled"], best["off"])
+
+    payload = {
+        "benchmark": "tracer_overhead",
+        "smoke": SMOKE,
+        "examples": len(TERMS),
+        "accepted": accepts.pop(),
+        "repeats": REPEATS,
+        "off_seconds": round(best["off"], 6),
+        "disabled_seconds": round(best["disabled"], 6),
+        "enabled_seconds": round(best["enabled"], 6),
+        "jsonl_seconds": round(best["jsonl"], 6),
+        "disabled_overhead_pct": round(disabled_overhead_pct, 2),
+        "enabled_overhead_pct": round(
+            100.0 * (best["enabled"] - best["off"]) / best["off"], 2
+        ),
+        "jsonl_overhead_pct": round(
+            100.0 * (best["jsonl"] - best["off"]) / best["off"], 2
+        ),
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

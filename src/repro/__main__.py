@@ -9,7 +9,15 @@ Subcommands::
     python -m repro batch exprs.txt --json    # check many expressions
     python -m repro module lib.gi --stats     # check a module file
     python -m repro figure2                   # regenerate the table
+    python -m repro trace run.jsonl           # replay a recorded trace
     python -m repro repl                      # interactive loop
+
+``infer``, ``batch`` and ``module`` accept the observability flags:
+``--trace`` prints the span tree of the run, ``--trace FILE`` streams
+JSONL trace events to ``FILE`` (replayable with ``repro trace``),
+``--metrics`` prints the counter/gauge/histogram summary and
+``--profile`` a per-span calls/total/self table.  ``infer --explain``
+narrates the solver derivation step by step.
 
 All commands use the Figure 1 prelude environment.  No command ever
 prints a raw Python traceback: type errors are reported as one-line
@@ -44,17 +52,83 @@ def _internal_diagnostic(error: BaseException) -> str:
     return f"internal error ({type(error).__name__}): {detail}"
 
 
-def cmd_infer(source: str) -> int:
+class _Obs:
+    """One command's observability session, built from the CLI flags.
+
+    Owns the tracer (and the JSONL sink when ``--trace FILE`` was given)
+    and renders whatever surfaces were requested when the command
+    finishes — on the error paths too, since a failing run is exactly
+    the one whose trace is wanted.
+    """
+
+    def __init__(self, trace, metrics: bool, profile: bool, explain: bool) -> None:
+        from repro.observability import JsonlWriter, Tracer
+
+        self.trace = trace
+        self.show_metrics = metrics
+        self.show_profile = profile
+        self.show_explain = explain
+        self.writer = None
+        if trace is not None and trace != "-":
+            self.writer = JsonlWriter(open(trace, "w", encoding="utf-8"))
+        self.tracer = Tracer(sink=self.writer)
+
+    @classmethod
+    def from_args(cls, arguments) -> "_Obs | None":
+        trace = getattr(arguments, "trace", None)
+        metrics = getattr(arguments, "metrics", False)
+        profile = getattr(arguments, "profile", False)
+        explain = getattr(arguments, "explain", False)
+        if trace is None and not metrics and not profile and not explain:
+            return None
+        return cls(trace, metrics, profile, explain)
+
+    def finish(self) -> None:
+        from repro.observability import (
+            explain_tracer,
+            render_metrics,
+            render_profile,
+            render_span_tree,
+        )
+
+        sections: list[str] = []
+        if self.writer is not None:
+            self.tracer.emit_metrics_event()
+            self.writer.close()
+            print(
+                f"trace: {self.writer.lines} events written to {self.trace}",
+                file=sys.stderr,
+            )
+        elif self.trace == "-":
+            sections.append(render_span_tree(self.tracer.roots))
+        if self.show_explain:
+            sections.append(explain_tracer(self.tracer))
+        if self.show_metrics:
+            sections.append(render_metrics(self.tracer.metrics))
+        if self.show_profile:
+            sections.append(render_profile(self.tracer.roots))
+        for section in sections:
+            print()
+            print(section)
+
+
+def cmd_infer(source: str, obs: _Obs | None = None) -> int:
+    tracer = obs.tracer if obs is not None else None
+    code = 0
     try:
-        result = _inferencer().infer(parse_term(source))
-    except GIError as error:
-        print(f"type error: {error}", file=sys.stderr)
-        return 1
-    except Exception as error:  # noqa: BLE001 — CLI containment
-        print(_internal_diagnostic(error), file=sys.stderr)
-        return 1
-    print(result.type_)
-    return 0
+        try:
+            result = Inferencer(figure2_env(), tracer=tracer).infer(parse_term(source))
+            print(result.type_)
+        except GIError as error:
+            print(f"type error: {error}", file=sys.stderr)
+            code = 1
+        except Exception as error:  # noqa: BLE001 — CLI containment
+            print(_internal_diagnostic(error), file=sys.stderr)
+            code = 1
+    finally:
+        if obs is not None:
+            obs.finish()
+    return code
 
 
 def cmd_check(source: str, signature: str) -> int:
@@ -111,6 +185,8 @@ def cmd_batch(
     timeout: float | None,
     as_json: bool,
     jobs: int,
+    seed: int | None = None,
+    obs: _Obs | None = None,
 ) -> int:
     from repro.robustness import Budget, check_batch, read_batch_file, render_text
 
@@ -124,12 +200,23 @@ def cmd_batch(
         max_unify_depth=max_depth,
         wall_clock=timeout,
     )
-    result = check_batch(sources, figure2_env(), budget=budget, jobs=jobs)
-    if as_json:
-        print(json_module.dumps(result.to_dict(), indent=2))
-    else:
-        print(render_text(result))
-    return 0 if result.ok else 1
+    try:
+        result = check_batch(
+            sources,
+            figure2_env(),
+            budget=budget,
+            jobs=jobs,
+            seed=seed,
+            tracer=obs.tracer if obs is not None else None,
+        )
+        if as_json:
+            print(json_module.dumps(result.to_dict(), indent=2))
+        else:
+            print(render_text(result))
+        return 0 if result.ok else 1
+    finally:
+        if obs is not None:
+            obs.finish()
 
 
 def cmd_module(
@@ -140,8 +227,10 @@ def cmd_module(
     as_json: bool,
     jobs: int,
     stats: bool,
+    no_cache: bool = False,
+    obs: _Obs | None = None,
 ) -> int:
-    from repro.modules import ModuleEngine, render_module_text
+    from repro.modules import ModuleCache, ModuleEngine, render_module_text
     from repro.robustness import Budget
 
     budget = Budget(
@@ -149,28 +238,101 @@ def cmd_module(
         max_unify_depth=max_depth,
         wall_clock=timeout,
     )
-    engine = ModuleEngine(figure2_env(), budget=budget, jobs=jobs)
+    # The result cache persists next to the module (``lib.gi`` keeps its
+    # checked types in ``lib.gi.cache.json``), so re-running the command
+    # on an unchanged file starts warm — visible as cache hits in
+    # ``--stats`` / ``--metrics``.  ``--no-cache`` opts out.
+    cache_path = path + ".cache.json"
+    cache = ModuleCache() if no_cache else ModuleCache.load(cache_path)
+    engine = ModuleEngine(
+        figure2_env(),
+        budget=budget,
+        jobs=jobs,
+        cache=cache,
+        tracer=obs.tracer if obs is not None else None,
+    )
     try:
-        result = engine.check_file(path)
+        try:
+            result = engine.check_file(path)
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        except GIError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except Exception as error:  # noqa: BLE001 — CLI containment
+            print(_internal_diagnostic(error), file=sys.stderr)
+            return 1
+        if not no_cache:
+            try:
+                cache.save(cache_path)
+            except OSError:
+                pass  # a read-only location degrades to no persistence
+        if as_json:
+            print(json_module.dumps(result.to_dict(include_stats=stats), indent=2))
+        else:
+            print(render_module_text(result, stats=stats))
+        return 0 if result.ok else 1
+    finally:
+        if obs is not None:
+            obs.finish()
+
+
+def cmd_trace(path: str, explain: bool, validate: bool) -> int:
+    """Replay, narrate or schema-check a recorded JSONL trace file."""
+    from repro.observability import (
+        explain_events,
+        read_trace,
+        render_span_tree,
+        spans_from_events,
+        validate_line,
+    )
+
+    if validate:
+        problems: list[str] = []
+        total = 0
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for lineno, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    total += 1
+                    problems.extend(
+                        f"line {lineno}: {problem}" for problem in validate_line(line)
+                    )
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        if problems:
+            for problem in problems[:20]:
+                print(problem, file=sys.stderr)
+            print(
+                f"invalid: {len(problems)} schema error(s) across {total} event(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"ok: {total} events valid (schema v1)")
+        return 0
+    try:
+        events = read_trace(path)
     except OSError as error:
         print(f"error: cannot read {path}: {error}", file=sys.stderr)
         return 2
-    except GIError as error:
-        print(f"error: {error}", file=sys.stderr)
+    except ValueError as error:
+        print(f"error: not a JSONL trace: {error}", file=sys.stderr)
         return 1
-    except Exception as error:  # noqa: BLE001 — CLI containment
-        print(_internal_diagnostic(error), file=sys.stderr)
-        return 1
-    if as_json:
-        print(json_module.dumps(result.to_dict(include_stats=stats), indent=2))
+    if explain:
+        print(explain_events(events))
     else:
-        print(render_module_text(result, stats=stats))
-    return 0 if result.ok else 1
+        print(render_span_tree(spans_from_events(events)))
+    return 0
 
 
 _REPL_HELP = (
     "commands: :t <e> show a type · :r <e> run · :load <file> check a module "
-    "and bring its bindings into scope · :browse list bindings · :q quit"
+    "and bring its bindings into scope · :browse list bindings · "
+    ":trace on/off span trees per expression · :stats session metrics · :q quit"
 )
 
 
@@ -193,8 +355,27 @@ def _repl_load(gi: Inferencer, path: str, loaded: dict[str, str]) -> Inferencer:
 
 
 def cmd_repl() -> int:
+    from repro.observability import Metrics, Tracer, render_metrics, render_span_tree
+
     gi = _inferencer()
     loaded: dict[str, str] = {}
+    session_metrics = Metrics()
+    """One metrics registry for the whole session: every traced
+    expression accumulates into it, and ``:stats`` reads it back."""
+    trace_on = False
+
+    def infer_traced(term):
+        """Infer, printing the run's span tree when ``:trace on``."""
+        if not trace_on:
+            return gi.infer(term)
+        tracer = Tracer(metrics=session_metrics)
+        try:
+            return Inferencer(
+                gi.env, gi.instances, gi.options, tracer=tracer
+            ).infer(term)
+        finally:
+            print(render_span_tree(tracer.roots))
+
     print("guarded-impredicativity repl — :q to quit, :h for help")
     while True:
         try:
@@ -214,19 +395,24 @@ def cmd_repl() -> int:
                 for name in names:
                     origin = " (loaded)" if name in loaded else ""
                     print(f"{name} :: {gi.env.lookup(name)}{origin}")
+            elif line in (":trace on", ":trace off", ":trace"):
+                trace_on = not trace_on if line == ":trace" else line == ":trace on"
+                print(f"tracing {'on' if trace_on else 'off'}")
+            elif line == ":stats":
+                print(render_metrics(session_metrics))
             elif line.startswith(":load "):
                 gi = _repl_load(gi, line[6:].strip(), loaded)
             elif line.startswith(":t "):
-                print(gi.infer(parse_term(line[3:])).type_)
+                print(infer_traced(parse_term(line[3:])).type_)
             elif line.startswith(":r "):
                 term = parse_term(line[3:])
-                gi.infer(term)
+                infer_traced(term)
                 print(interp_run(term))
             elif line.startswith(":"):
                 command = line.split()[0]
                 print(f"unknown command `{command}` — {_REPL_HELP}")
             else:
-                print(gi.infer(parse_term(line)).type_)
+                print(infer_traced(parse_term(line)).type_)
         except OSError as error:
             print(f"error: {error}")
         except GIError as error:
@@ -235,12 +421,41 @@ def cmd_repl() -> int:
             print(_internal_diagnostic(error))
 
 
+def _add_observability_flags(parser, explain: bool = False) -> None:
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="print the span tree of the run; with FILE, stream JSONL "
+        "trace events there instead (replayable via `repro trace`)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the counter/gauge/histogram summary after the run",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-span calls/total/self-time table",
+    )
+    if explain:
+        parser.add_argument(
+            "--explain",
+            action="store_true",
+            help="narrate the solver derivation (rules, classifications, bindings)",
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_infer = sub.add_parser("infer", help="infer the principal type")
     p_infer.add_argument("expr")
+    _add_observability_flags(p_infer, explain=True)
     p_check = sub.add_parser("check", help="check against a signature")
     p_check.add_argument("expr")
     p_check.add_argument("signature")
@@ -271,6 +486,15 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="check expressions concurrently with N workers (order preserved)",
     )
+    p_batch.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="arm a deterministic per-item fault plan derived from this seed "
+        "(reproducible fault-injection sweep; forces --jobs 1; the seed is "
+        "recorded in every diagnostic)",
+    )
+    _add_observability_flags(p_batch)
     p_module = sub.add_parser(
         "module",
         help="check a module file: SCC binding groups, incremental cache",
@@ -299,12 +523,33 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="report cache hits/misses and per-group timings",
     )
+    p_module.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not load/save the on-disk result cache (<file>.cache.json)",
+    )
+    _add_observability_flags(p_module)
+    p_trace = sub.add_parser(
+        "trace",
+        help="replay a recorded JSONL trace: span tree, narrative, or schema check",
+    )
+    p_trace.add_argument("file")
+    p_trace.add_argument(
+        "--explain",
+        action="store_true",
+        help="narrate the solver derivation recorded in the trace",
+    )
+    p_trace.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every line against the trace event schema; exit 1 on errors",
+    )
     sub.add_parser("figure2", help="regenerate Figure 2")
     sub.add_parser("repl", help="interactive loop")
 
     arguments = parser.parse_args(argv)
     if arguments.command == "infer":
-        return cmd_infer(arguments.expr)
+        return cmd_infer(arguments.expr, obs=_Obs.from_args(arguments))
     if arguments.command == "check":
         return cmd_check(arguments.expr, arguments.signature)
     if arguments.command == "run":
@@ -319,6 +564,8 @@ def main(argv: list[str] | None = None) -> int:
             arguments.timeout,
             arguments.json,
             arguments.jobs,
+            seed=arguments.seed,
+            obs=_Obs.from_args(arguments),
         )
     if arguments.command == "module":
         return cmd_module(
@@ -329,7 +576,11 @@ def main(argv: list[str] | None = None) -> int:
             arguments.json,
             arguments.jobs,
             arguments.stats,
+            no_cache=arguments.no_cache,
+            obs=_Obs.from_args(arguments),
         )
+    if arguments.command == "trace":
+        return cmd_trace(arguments.file, arguments.explain, arguments.validate)
     if arguments.command == "figure2":
         import runpy
         from pathlib import Path

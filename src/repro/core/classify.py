@@ -107,7 +107,7 @@ def classify(type_: Type, sort: Sort, bits: Sequence[Bit]) -> SortAssignment:
 
 
 def classified_binders(
-    type_: Type, sort: Sort, bits: Sequence[Bit]
+    type_: Type, sort: Sort, bits: Sequence[Bit], tracer=None
 ) -> SortAssignment:
     """Sorts for exactly the *top-level binders* of a quantified type.
 
@@ -115,9 +115,21 @@ def classified_binders(
     bound at the top level keep whatever status they already have.  Binders
     that do not receive a classification (impossible given the grammar's
     ``ā ⊆ ftv(µ)`` invariant, but kept safe) default to ``M``.
+
+    ``tracer`` optionally records the classification verdict — the
+    invisible ``▷s_ω`` judgement the trace explainer narrates.
     """
     binders, body = (type_.binders, type_.body) if isinstance(type_, Forall) else ((), type_)
     assignment = classify(body, sort, bits)
-    return SortAssignment(
+    result = SortAssignment(
         {name: assignment.get(name, Sort.M) for name in binders}
     )
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "classify.binders",
+            type=str(type_),
+            sort=sort.symbol,
+            bits="".join(str(bit) for bit in bits),
+            sorts={name: assigned.symbol for name, assigned in result.items()},
+        )
+    return result

@@ -204,7 +204,10 @@ class InternalError(GIError):
     ``RecursionError``, ``AssertionError``, ``KeyError``, … — into this
     class so that no raw Python traceback ever escapes the engine.  The
     original exception is chained as ``__cause__``; ``snapshot`` holds a
-    redacted summary of solver state (counts only, no user types).
+    redacted summary of solver state (counts only, no user types), plus
+    optionally the formatted original traceback under ``"traceback"`` —
+    carried for structured (``--json``) output but never rendered into
+    the one-line message.
     """
 
     def __init__(self, original: BaseException, phase: str, snapshot: dict | None = None):
@@ -214,9 +217,12 @@ class InternalError(GIError):
         detail = str(original) or "(no message)"
         if len(detail) > 200:
             detail = detail[:200] + "…"
+        rendered = {
+            key: value for key, value in self.snapshot.items() if key != "traceback"
+        }
         state = (
-            " [" + ", ".join(f"{key}={value}" for key, value in self.snapshot.items()) + "]"
-            if self.snapshot
+            " [" + ", ".join(f"{key}={value}" for key, value in rendered.items()) + "]"
+            if rendered
             else ""
         )
         super().__init__(

@@ -19,6 +19,7 @@ the guardedness information that multi-argument treatment provides.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.classify import Bit
 from repro.core.constraints import ClassC, Constraint, Eq, Gen, Inst, Quant, Scheme
@@ -54,6 +55,9 @@ from repro.core.types import (
     subst_tvars,
 )
 
+if TYPE_CHECKING:  # pragma: no cover — avoids a runtime import cycle
+    from repro.observability.tracer import TracerLike
+
 
 @dataclass
 class GenOptions:
@@ -77,11 +81,13 @@ class Generator:
         supply: NameSupply | None = None,
         evidence: EvidenceStore | None = None,
         options: GenOptions | None = None,
+        tracer: "TracerLike | None" = None,
     ) -> None:
         self.supply = supply or NameSupply("u")
         self.skolem_supply = NameSupply("sk")
         self.evidence = evidence or EvidenceStore()
         self.options = options or GenOptions()
+        self.tracer = tracer
         self.created: list[UVar] = []
 
     def fresh(self, sort: Sort) -> UVar:
@@ -195,6 +201,7 @@ class Generator:
     def gen_arg(
         self, env: Environment, argument: Term, expected: Type, path: Path
     ) -> tuple[Bit, list[Constraint]]:
+        tracing = self.tracer is not None and self.tracer.enabled
         if (
             self.options.use_vargen
             and isinstance(argument, Var)
@@ -202,6 +209,15 @@ class Generator:
         ):
             var_type = env.lookup(argument.name)
             if self._vargen_applicable(var_type):
+                if tracing:
+                    self.tracer.inc("gen.args.star")
+                    self.tracer.event(
+                        "gen.arg",
+                        bit=str(Bit.STAR),
+                        rule="VarGen",
+                        var=argument.name,
+                        type=str(var_type),
+                    )
                 return Bit.STAR, self._vargen(var_type, expected, path)
         # Rule ArgGen: type the argument as an expression and capture
         # every variable created along the way in a generalisation scheme.
@@ -209,6 +225,15 @@ class Generator:
         arg_type, constraints = self.gen(env, argument, path)
         captured = tuple(self.created[snapshot:])
         scheme = Scheme(captured, tuple(constraints), arg_type)
+        if tracing:
+            self.tracer.inc("gen.args.gen")
+            self.tracer.event(
+                "gen.arg",
+                bit=str(Bit.GEN),
+                rule="ArgGen",
+                captured=len(captured),
+                type=str(arg_type),
+            )
         return Bit.GEN, [Gen(scheme, expected, star=False, evidence=path)]
 
     @staticmethod

@@ -16,6 +16,8 @@ the term is a fully monomorphic substitution instance of the result.
 
 from __future__ import annotations
 
+import traceback as _traceback
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -44,6 +46,7 @@ from repro.core.types import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover — keeps the core→robustness edge lazy
+    from repro.observability.tracer import TracerLike
     from repro.robustness.budget import Budget
     from repro.robustness.faultinject import FaultPlan
 
@@ -111,12 +114,19 @@ class Inferencer:
         options: InferOptions | None = None,
         budget: "Budget | None" = None,
         faults: "FaultPlan | None" = None,
+        tracer: "TracerLike | None" = None,
     ) -> None:
         self.env = env or Environment()
         self.instances = instances or InstanceEnv()
         self.options = options or InferOptions()
         self.budget = budget
         self.faults = faults
+        self.tracer = tracer
+
+    def _span(self, name: str, **attrs):
+        if self.tracer is not None and self.tracer.enabled:
+            return self.tracer.span(name, **attrs)
+        return nullcontext()
 
     def infer(self, term: Term) -> InferenceResult:
         """Infer the principal type of a term; raises :class:`GIError`.
@@ -128,72 +138,116 @@ class Inferencer:
         redacted solver-state snapshot — no raw traceback escapes.
         """
         if self.budget is not None:
+            if self.tracer is not None:
+                self.budget.tracer = self.tracer
             self.budget.start()
         if self.faults is not None:
+            if self.tracer is not None:
+                self.faults.tracer = self.tracer
             self.faults.start()
+        tracing = self.tracer is not None and self.tracer.enabled
         phase = "generate"
         solver: Solver | None = None
         try:
-            supply = NameSupply("u")
-            evidence = EvidenceStore()
-            generator = Generator(
-                supply,
-                evidence,
-                GenOptions(
-                    use_vargen=self.options.use_vargen,
-                    nary_apps=self.options.nary_apps,
-                ),
-            )
-            result_type, constraints = generator.gen(self.env, term)
-            phase = "solve"
-            solver = Solver(
-                supply,
-                evidence,
-                self.instances,
-                budget=self.budget,
-                faults=self.faults,
-                defaulting=self.options.defaulting,
-            )
-            residual = solver.solve(list(constraints))
-            phase = "generalize"
-            zonked = solver.unifier.zonk(result_type)
+            with self._span("infer"):
+                supply = NameSupply("u")
+                evidence = EvidenceStore()
+                generator = Generator(
+                    supply,
+                    evidence,
+                    GenOptions(
+                        use_vargen=self.options.use_vargen,
+                        nary_apps=self.options.nary_apps,
+                    ),
+                    tracer=self.tracer,
+                )
+                with self._span("generate"):
+                    result_type, constraints = generator.gen(self.env, term)
+                if tracing:
+                    self.tracer.inc("infer.runs")
+                    self.tracer.observe("gen.constraints", len(constraints))
+                phase = "solve"
+                solver = Solver(
+                    supply,
+                    evidence,
+                    self.instances,
+                    budget=self.budget,
+                    faults=self.faults,
+                    defaulting=self.options.defaulting,
+                    tracer=self.tracer,
+                )
+                with self._span("solve", constraints=len(constraints)):
+                    residual = solver.solve(list(constraints))
+                phase = "generalize"
+                with self._span("generalize"):
+                    zonked = solver.unifier.zonk(result_type)
 
-            residual_preds: list[ClassC] = []
-            for predicate, scope in residual:
-                if scope.level != 0:
-                    raise MissingInstanceError(predicate)
-                residual_preds.append(
-                    ClassC(
-                        predicate.class_name,
-                        tuple(solver.unifier.zonk(a) for a in predicate.args),
+                    residual_preds: list[ClassC] = []
+                    for predicate, scope in residual:
+                        if scope.level != 0:
+                            raise MissingInstanceError(predicate)
+                        residual_preds.append(
+                            ClassC(
+                                predicate.class_name,
+                                tuple(solver.unifier.zonk(a) for a in predicate.args),
+                            )
+                        )
+
+                    if not self.options.generalize:
+                        evidence.zonk(solver.unifier.zonk)
+                        result = InferenceResult(
+                            zonked, zonked, term, list(constraints), evidence, solver
+                        )
+                    else:
+                        principal, context, binders = self._generalize(
+                            zonked, residual_preds, solver
+                        )
+                        self._ground_evidence(evidence, solver)
+                        evidence.zonk(solver.unifier.zonk)
+                        result = InferenceResult(
+                            rename_canonical(principal),
+                            zonked,
+                            term,
+                            list(constraints),
+                            evidence,
+                            solver,
+                            context,
+                            binders,
+                        )
+                if tracing:
+                    self.tracer.event(
+                        "infer.result",
+                        type=str(result.type_),
+                        steps=solver.steps,
+                        bindings=solver.unifier.bindings,
                     )
+                return result
+        except GIError as error:
+            if tracing:
+                self.tracer.inc("infer.errors")
+                self.tracer.event(
+                    "infer.error",
+                    error_class=type(error).__name__,
+                    message=str(error),
+                    phase=phase,
                 )
-
-            if not self.options.generalize:
-                evidence.zonk(solver.unifier.zonk)
-                return InferenceResult(
-                    zonked, zonked, term, list(constraints), evidence, solver
-                )
-
-            principal, context, binders = self._generalize(
-                zonked, residual_preds, solver
-            )
-            self._ground_evidence(evidence, solver)
-            evidence.zonk(solver.unifier.zonk)
-            return InferenceResult(
-                rename_canonical(principal),
-                zonked,
-                term,
-                list(constraints),
-                evidence,
-                solver,
-                context,
-                binders,
-            )
-        except GIError:
             raise
         except Exception as error:  # noqa: BLE001 — the containment boundary
-            raise InternalError(error, phase, _solver_snapshot(solver)) from error
+            snapshot = _solver_snapshot(solver)
+            # The formatted remote traceback rides along in the snapshot
+            # (never in the one-line message) so ``--json`` consumers can
+            # see where a contained crash actually came from.
+            snapshot["traceback"] = _traceback.format_exc()
+            internal = InternalError(error, phase, snapshot)
+            if tracing:
+                self.tracer.inc("infer.errors")
+                self.tracer.event(
+                    "infer.error",
+                    error_class="InternalError",
+                    message=str(internal),
+                    phase=phase,
+                )
+            raise internal from error
 
     def check(self, term: Term, type_: Type) -> InferenceResult:
         """Check a term against a signature (``f :: σ; f = e`` becomes the

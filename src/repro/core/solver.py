@@ -57,6 +57,7 @@ from repro.core.types import (
 from repro.core.unify import Unifier
 
 if TYPE_CHECKING:  # pragma: no cover — avoids a runtime import cycle
+    from repro.observability.tracer import TracerLike
     from repro.robustness.budget import Budget
     from repro.robustness.faultinject import FaultPlan
 
@@ -111,8 +112,9 @@ class Solver:
         budget: "Budget | None" = None,
         faults: "FaultPlan | None" = None,
         defaulting: bool = True,
+        tracer: "TracerLike | None" = None,
     ) -> None:
-        self.unifier = Unifier(supply, budget=budget, faults=faults)
+        self.unifier = Unifier(supply, budget=budget, faults=faults, tracer=tracer)
         self.evidence = evidence or EvidenceStore()
         self.instances = instances or InstanceEnv()
         self.queue: deque[tuple[Constraint, Scope]] = deque()
@@ -120,6 +122,7 @@ class Solver:
         self.root = Scope(0)
         self.budget = budget
         self.faults = faults
+        self.tracer = tracer
         self.defaulting = defaulting
         self.steps = 0
         """Constraints processed so far (the budget's fuel gauge)."""
@@ -153,6 +156,9 @@ class Solver:
             for constraint, scope in self.deferred
             if isinstance(constraint, ClassC)
         ]
+        if self.tracer is not None and self.tracer.enabled:
+            for constraint, _ in residual_classes:
+                self.tracer.event("solver.residual", constraint=str(constraint))
         hard = [
             constraint
             for constraint, _ in self.deferred
@@ -172,6 +178,15 @@ class Solver:
                 self.budget.check_solver_step(self.steps, constraint)
             if self.faults is not None:
                 self.faults.solver_step(self.steps, constraint)
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.inc("solver.steps")
+                self.tracer.event(
+                    "solver.step",
+                    step=self.steps,
+                    level=scope.level,
+                    kind=type(constraint).__name__,
+                    constraint=str(constraint),
+                )
             self._step(constraint, scope)
 
     def _requeue_deferred(self) -> None:
@@ -195,6 +210,11 @@ class Solver:
             demoted = self.unifier.fresh(Sort.T, blocker.level)
             self.unifier.subst[blocker] = demoted
             self.unifier.bindings += 1
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.inc("solver.defaults")
+                self.tracer.event(
+                    "solver.default", var=str(blocker), demoted_to=str(demoted)
+                )
             self._requeue_deferred()
             return True
         return False
@@ -259,6 +279,7 @@ class Solver:
     # -- instantiation constraints (instϵ, inst→, inst∀l) ---------------
 
     def _step_inst(self, constraint: Inst, scope: Scope) -> None:
+        tracing = self.tracer is not None and self.tracer.enabled
         lhs = self.unifier.zonk(constraint.lhs)
         if isinstance(lhs, Forall):
             self._inst_forall_left(lhs, constraint, scope)
@@ -269,16 +290,30 @@ class Solver:
             # variable, which might still be unified with a polytype
             # needing instantiation (Section 4.3.2, case 1).
             if isinstance(lhs, UVar) and lhs.sort is Sort.U:
-                self.deferred.append((constraint, scope))
+                self._defer(
+                    constraint,
+                    scope,
+                    "instantiation head is an unbound unrestricted variable — "
+                    "it may still be unified with a polytype",
+                )
                 return
+            if tracing:
+                self.tracer.event("solver.rule", rule="instϵ", constraint=str(constraint))
             self.unifier.unify(lhs, constraint.result, scope.level, scope.resolver)
             return
         # Rule inst→: the head must be a function type taking the first
         # expected argument.  An unbound unrestricted head might become a
         # quantified type later, so it waits.
         if isinstance(lhs, UVar) and lhs.sort is Sort.U:
-            self.deferred.append((constraint, scope))
+            self._defer(
+                constraint,
+                scope,
+                "instantiation head is an unbound unrestricted variable — "
+                "it may still become a quantified type",
+            )
             return
+        if tracing:
+            self.tracer.event("solver.rule", rule="inst→", constraint=str(constraint))
         rest = self.unifier.fresh(Sort.U, scope.level)
         self.unifier.unify(
             lhs, fun(constraint.args[0], rest), scope.level, scope.resolver
@@ -301,7 +336,20 @@ class Solver:
     def _inst_forall_left(self, lhs: Forall, constraint: Inst, scope: Scope) -> None:
         """Rule inst∀l: freshen the binders at the sorts the guardedness
         classification ``▷s_ω`` permits (function freshen of Figure 8)."""
-        assignment = classified_binders(lhs, constraint.sort, constraint.bits)
+        assignment = classified_binders(
+            lhs, constraint.sort, constraint.bits, tracer=self.tracer
+        )
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                "solver.rule",
+                rule="inst∀l",
+                constraint=str(constraint),
+                sorts={
+                    binder: assignment.get(binder, Sort.M).symbol
+                    for binder in lhs.binders
+                },
+                bits="".join(str(bit) for bit in constraint.bits),
+            )
         mapping: dict[str, Type] = {}
         fresh_vars: list[Type] = []
         for binder in lhs.binders:
@@ -352,7 +400,12 @@ class Solver:
         if isinstance(rhs, UVar) and rhs.sort is Sort.U:
             # The right-hand side might yet become polymorphic, in which
             # case we must skolemise (Section 4.3.2, case 2) — wait.
-            self.deferred.append((constraint, scope))
+            self._defer(
+                constraint,
+                scope,
+                "generalisation target is an unbound unrestricted variable — "
+                "it may still become polymorphic, requiring skolemisation",
+            )
             return
         if isinstance(rhs, Forall):
             # Rule inst∀r: skolemise and push the scheme under the binder.
@@ -361,6 +414,14 @@ class Solver:
                 self.unifier.fresh_skolem(binder, inner.level)
                 for binder in rhs.binders
             ]
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.event(
+                    "solver.rule",
+                    rule="inst∀r",
+                    constraint=str(constraint),
+                    skolems=list(skolems),
+                    level=inner.level,
+                )
             renaming = {
                 binder: TVar(skolem)
                 for binder, skolem in zip(rhs.binders, skolems)
@@ -386,6 +447,13 @@ class Solver:
         # current scope, queue the captured constraints, and require the
         # scheme type to instantiate (fully monomorphically) to the rhs.
         scheme = constraint.scheme
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                "solver.rule",
+                rule="inst⨅l",
+                constraint=str(constraint),
+                captured=len(scheme.captured),
+            )
         for captured in scheme.captured:
             current = self.unifier.zonk_head(captured)
             if isinstance(current, UVar):
@@ -408,6 +476,14 @@ class Solver:
 
     def _step_quant(self, constraint: Quant, scope: Scope) -> None:
         inner = scope.child()
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                "solver.rule",
+                rule="quant",
+                level=inner.level,
+                skolems=list(constraint.skolems),
+                wanteds=len(constraint.wanteds),
+            )
         for skolem in constraint.skolems:
             # Names were freshened at generation time; register depth.
             self.unifier.skolem_levels[skolem] = inner.level
@@ -448,6 +524,7 @@ class Solver:
     # -- class constraints (Appendix B) -----------------------------------
 
     def _step_class(self, constraint: ClassC, scope: Scope) -> None:
+        tracing = self.tracer is not None and self.tracer.enabled
         arguments = tuple(self.unifier.zonk(argument) for argument in constraint.args)
         current = ClassC(constraint.class_name, arguments)
         # Rule dupl: discharge against an identical given.
@@ -456,17 +533,41 @@ class Solver:
             if given.class_name == current.class_name and all(
                 alpha_equal(a, b) for a, b in zip(given_args, arguments)
             ):
+                if tracing:
+                    self.tracer.event(
+                        "solver.rule", rule="dupl", class_constraint=str(current)
+                    )
                 return
         matched = self.instances.match(current)
         if matched is not None:
+            if tracing:
+                self.tracer.event(
+                    "solver.rule",
+                    rule="instance",
+                    class_constraint=str(current),
+                    subgoals=len(matched),
+                )
             for subgoal in matched:
                 self.queue.append((subgoal, scope))
             return
         if any(fuv(argument) for argument in arguments):
             # Not yet determined; try again later (or report as residual).
-            self.deferred.append((current, scope))
+            self._defer(
+                current,
+                scope,
+                "class constraint mentions undetermined unification variables",
+            )
             return
         raise MissingInstanceError(current)
+
+    # ------------------------------------------------------------------
+
+    def _defer(self, constraint: Constraint, scope: Scope, reason: str) -> None:
+        """Park a constraint that would require guessing (Section 4.3.2)."""
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.inc("solver.deferrals")
+            self.tracer.event("solver.defer", constraint=str(constraint), reason=reason)
+        self.deferred.append((constraint, scope))
 
 
 class InstanceEnv:

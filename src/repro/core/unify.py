@@ -48,6 +48,7 @@ from repro.core.types import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover — avoids a runtime import cycle
+    from repro.observability.tracer import TracerLike
     from repro.robustness.budget import Budget
     from repro.robustness.faultinject import FaultPlan
 
@@ -59,8 +60,9 @@ class Unifier:
 
     ``budget`` bounds the recursion depth of :meth:`unify` (and enforces
     the run's wall-clock deadline); ``faults`` is the deterministic
-    fault-injection hook.  Both are optional and cost one attribute check
-    per recursion level when absent.
+    fault-injection hook; ``tracer`` records variable bindings as trace
+    events.  All three are optional and cost one attribute check per
+    recursion level (binding) when absent or disabled.
     """
 
     def __init__(
@@ -68,6 +70,7 @@ class Unifier:
         supply: NameSupply | None = None,
         budget: "Budget | None" = None,
         faults: "FaultPlan | None" = None,
+        tracer: "TracerLike | None" = None,
     ) -> None:
         self.supply = supply or NameSupply("v")
         self.subst: dict[UVar, Type] = {}
@@ -75,6 +78,7 @@ class Unifier:
         self.bindings = 0
         self.budget = budget
         self.faults = faults
+        self.tracer = tracer
         self.depth = 0
         """Current recursion depth of :meth:`unify` (0 when idle)."""
 
@@ -150,6 +154,8 @@ class Unifier:
                 self.budget.check_unify_depth(self.depth, left, right)
             if self.faults is not None:
                 self.faults.unify_depth(self.depth)
+            if self.tracer is not None and self.tracer.enabled and self.depth == 1:
+                self.tracer.inc("unify.calls")
             left = self.zonk(left)
             right = self.zonk(right)
             if left == right:
@@ -257,6 +263,15 @@ class Unifier:
         self._check_skolems(variable, type_)
         self.subst[variable] = type_
         self.bindings += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.inc("unify.binds")
+            self.tracer.event(
+                "unify.bind",
+                var=str(variable),
+                type=str(type_),
+                sort=variable.sort.symbol,
+                level=variable.level,
+            )
 
     def _bind_var_var(self, left: UVar, right: UVar) -> None:
         """Rule eqvar: the less restrictive variable is substituted away;

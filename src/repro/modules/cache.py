@@ -23,6 +23,7 @@ footprint (:func:`repro.modules.graph.dependents_closure`) re-checks.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.core.env import Environment
@@ -103,6 +104,57 @@ class ModuleCache:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    # -- persistence ----------------------------------------------------
+    #
+    # The cache round-trips through JSON as (key, pretty-printed type)
+    # pairs; types are rebuilt by parsing their pretty form, which the
+    # pretty/parse round-trip property guarantees is lossless.  This is
+    # what makes cache hits survive across *processes*: a second
+    # ``python -m repro module`` run of an unchanged file starts warm.
+
+    SCHEMA_VERSION = 1
+
+    def save(self, path: str) -> None:
+        """Write the cache to ``path`` as JSON."""
+        payload = {
+            "version": self.SCHEMA_VERSION,
+            "entries": {
+                name: {"key": entry.key, "type": entry.type_text}
+                for name, entry in self.entries.items()
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, ensure_ascii=False, indent=1)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ModuleCache":
+        """Read a cache written by :meth:`save`.
+
+        Any problem — missing file, corrupt JSON, unknown version, an
+        unparseable type — yields an *empty* cache: persistence is an
+        optimisation, never a correctness dependency, so a bad cache file
+        degrades to a cold start instead of an error.
+        """
+        from repro.syntax import parse_type
+
+        cache = cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != cls.SCHEMA_VERSION:
+                return cls()
+            for name, item in payload.get("entries", {}).items():
+                type_text = item["type"]
+                cache.entries[name] = CacheEntry(
+                    key=item["key"],
+                    type_=parse_type(type_text),
+                    type_text=type_text,
+                )
+        except Exception:  # noqa: BLE001 — cold start on any damage
+            return cls()
+        return cache
 
 
 def binding_key(

@@ -25,6 +25,7 @@ either a checked type or a structured
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.env import Environment
@@ -66,6 +67,7 @@ def _diagnose(error: GIError, index: int, name: str) -> Diagnostic:
         message=str(error),
         phase=getattr(error, "phase", None),
         binding=name,
+        traceback=getattr(error, "snapshot", {}).get("traceback"),
     )
 
 
@@ -76,34 +78,53 @@ def check_group(
     options: InferOptions | None = None,
     budget: Budget | None = None,
     indices: dict[str, int] | None = None,
+    tracer=None,
+    parent_span=None,
 ) -> GroupOutcome:
     """Check every member of ``group`` under ``env``.
 
     ``indices`` maps binding names to their declaration positions (for
-    diagnostics); it defaults to positions within the group.
+    diagnostics); it defaults to positions within the group.  When a
+    ``tracer`` is given the whole group runs inside a ``group.check``
+    span; ``parent_span`` parents it explicitly, which is what keeps the
+    span tree intact when groups run on pool worker threads (the worker
+    thread has no ambient span stack of its own).
     """
     started = time.perf_counter()
     outcome = GroupOutcome(group)
     indices = indices or {b.name: i for i, b in enumerate(group.bindings)}
+    span_cm = (
+        tracer.span(
+            "group.check",
+            parent=parent_span,
+            names=",".join(group.names),
+            recursive=group.recursive,
+        )
+        if tracer is not None and tracer.enabled
+        else nullcontext()
+    )
 
-    if group.recursive:
-        missing = tuple(b.name for b in group.bindings if b.signature is None)
-        if missing:
-            error = CyclicBindingError(group.names, missing)
+    with span_cm:
+        if group.recursive:
+            missing = tuple(b.name for b in group.bindings if b.signature is None)
+            if missing:
+                error = CyclicBindingError(group.names, missing)
+                for binding in group.bindings:
+                    outcome.diagnostics[binding.name] = _diagnose(
+                        error, indices[binding.name], binding.name
+                    )
+                outcome.seconds = time.perf_counter() - started
+                return outcome
+            # Check each member under the assumption of all declared types.
+            assumptions = {b.name: b.signature for b in group.bindings}
+            rec_env = env.extended_many(assumptions)
             for binding in group.bindings:
-                outcome.diagnostics[binding.name] = _diagnose(
-                    error, indices[binding.name], binding.name
+                _check_one(
+                    binding, rec_env, instances, options, budget, indices, outcome, tracer
                 )
-            outcome.seconds = time.perf_counter() - started
-            return outcome
-        # Check each member under the assumption of all declared types.
-        assumptions = {b.name: b.signature for b in group.bindings}
-        rec_env = env.extended_many(assumptions)
-        for binding in group.bindings:
-            _check_one(binding, rec_env, instances, options, budget, indices, outcome)
-    else:
-        binding = group.bindings[0]
-        _check_one(binding, env, instances, options, budget, indices, outcome)
+        else:
+            binding = group.bindings[0]
+            _check_one(binding, env, instances, options, budget, indices, outcome, tracer)
 
     outcome.seconds = time.perf_counter() - started
     return outcome
@@ -117,8 +138,9 @@ def _check_one(
     budget: Budget | None,
     indices: dict[str, int],
     outcome: GroupOutcome,
+    tracer=None,
 ) -> None:
-    inferencer = Inferencer(env, instances, options, budget=budget)
+    inferencer = Inferencer(env, instances, options, budget=budget, tracer=tracer)
     try:
         if binding.signature is not None:
             inferencer.infer(Ann(binding.term, binding.signature))

@@ -34,6 +34,7 @@ callers (the REPL's ``:load``) can keep using the module's bindings.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.env import Environment
@@ -179,131 +180,193 @@ class ModuleEngine:
         budget: Budget | None = None,
         jobs: int = 1,
         cache: ModuleCache | None = None,
+        tracer=None,
     ) -> None:
         self.env = env or Environment()
         self.instances = instances
         self.options = options
         self.budget = budget
         self.jobs = max(1, jobs)
-        self.cache = cache or ModuleCache()
+        # ``cache or ModuleCache()`` would discard a caller-supplied
+        # *empty* cache (ModuleCache defines __len__, so empty is falsy)
+        # — fatal for persistence, where the caller keeps the reference
+        # to save it after the run.
+        self.cache = cache if cache is not None else ModuleCache()
+        self.tracer = tracer
         self._pool = WorkerPool(
             jobs=self.jobs, budget_factory=lambda: clone_budget(self.budget)
         )
+
+    def _span(self, name: str, parent=None, **attrs):
+        if self.tracer is not None and self.tracer.enabled:
+            return self.tracer.span(name, parent=parent, **attrs)
+        return nullcontext()
 
     # ------------------------------------------------------------------
 
     def check_file(self, path: str) -> ModuleResult:
         """Parse and check a module file from disk."""
-        return self.check_module(parse_module_file(path))
+        with self._span("parse", path=path):
+            module = parse_module_file(path)
+        return self.check_module(module)
 
     def check_source(self, source: str, path: str | None = None) -> ModuleResult:
         """Parse and check module source text."""
-        return self.check_module(parse_module(source, path=path))
+        with self._span("parse", chars=len(source)):
+            module = parse_module(source, path=path)
+        return self.check_module(module)
 
     def check_module(self, module: Module) -> ModuleResult:
         started = time.perf_counter()
+        tracing = self.tracer is not None and self.tracer.enabled
         self.cache.reset_counters()
-        groups = binding_groups(module)
-        layers = topo_layers(groups)
-        indices = {name: position for position, name in enumerate(module.names)}
+        with self._span("module.check", module=module.name or "(anonymous)") as module_span:
+            with self._span("graph", parent=module_span):
+                groups = binding_groups(module)
+                layers = topo_layers(groups)
+            indices = {name: position for position, name in enumerate(module.names)}
 
-        stats = ModuleStats(jobs=self.jobs, graph=GraphSummary.of(groups))
-        reports: dict[str, BindingReport] = {}
-        env = self.env
-        failed: set[str] = set()
-        dep_hashes: dict[str, str] = {}
+            stats = ModuleStats(jobs=self.jobs, graph=GraphSummary.of(groups))
+            reports: dict[str, BindingReport] = {}
+            env = self.env
+            failed: set[str] = set()
+            dep_hashes: dict[str, str] = {}
+            rechecked: set[str] = set()
+            """Names that went through inference (not cache) this run —
+            a later cache hit that *depends* on one of these is an early
+            cutoff: the dependency re-checked to the same type hash."""
 
-        for layer_index, layer in enumerate(layers):
-            pending: list[tuple[BindingGroup, dict[str, str]]] = []
-            new_bindings: dict[str, Type] = {}
-            for group in layer:
-                blocked = sorted(group.deps & failed)
-                if blocked:
-                    self._skip_group(group, blocked, indices, reports)
-                    failed.update(group.names)
-                    stats.groups_skipped += 1
-                    stats.group_timings.append(
-                        GroupTiming(group.names, layer_index, 0.0, False, skipped=True)
-                    )
-                    continue
-                keys = {
-                    binding.name: binding_key(binding, group, dep_hashes, env)
-                    for binding in group.bindings
-                }
-                entries = {
-                    name: self.cache.peek(name, key) for name, key in keys.items()
-                }
-                if all(entry is not None for entry in entries.values()):
-                    self.cache.hits += len(entries)
-                    stats.cache_hits += len(entries)
-                    stats.groups_cached += 1
-                    stats.group_timings.append(
-                        GroupTiming(group.names, layer_index, 0.0, cached=True)
-                    )
-                    for binding in group.bindings:
-                        entry = entries[binding.name]
-                        reports[binding.name] = BindingReport(
-                            name=binding.name,
-                            index=indices[binding.name],
-                            type_text=entry.type_text,
-                            cached=True,
-                            group=group.names,
-                        )
-                        new_bindings[binding.name] = entry.type_
-                        dep_hashes[binding.name] = entry.type_hash
-                    continue
-                self.cache.misses += len(entries)
-                stats.cache_misses += len(entries)
-                pending.append((group, keys))
-
-            if pending:
-                env_now = env
-
-                def run(
-                    item: tuple[BindingGroup, dict[str, str]],
-                    budget: Budget | None,
-                    _env: Environment = env_now,
-                ) -> GroupOutcome:
-                    return check_group(
-                        item[0],
-                        _env,
-                        self.instances,
-                        self.options,
-                        budget=budget,
-                        indices=indices,
-                    )
-
-                outcomes = self._pool.map(run, pending)
-                stats.groups_checked += len(pending)
-                for (group, keys), outcome in zip(pending, outcomes):
-                    stats.group_timings.append(
-                        GroupTiming(group.names, layer_index, outcome.seconds, False)
-                    )
-                    for binding in group.bindings:
-                        if binding.name in outcome.types:
-                            type_ = outcome.types[binding.name]
-                            entry = self.cache.store(
-                                binding.name, keys[binding.name], type_
+            for layer_index, layer in enumerate(layers):
+                with self._span(
+                    "layer", parent=module_span, index=layer_index, groups=len(layer)
+                ) as layer_span:
+                    pending: list[tuple[BindingGroup, dict[str, str]]] = []
+                    new_bindings: dict[str, Type] = {}
+                    for group in layer:
+                        blocked = sorted(group.deps & failed)
+                        if blocked:
+                            self._skip_group(group, blocked, indices, reports)
+                            failed.update(group.names)
+                            stats.groups_skipped += 1
+                            stats.group_timings.append(
+                                GroupTiming(
+                                    group.names, layer_index, 0.0, False, skipped=True
+                                )
                             )
-                            type_text = entry.type_text
-                            reports[binding.name] = BindingReport(
-                                name=binding.name,
-                                index=indices[binding.name],
-                                type_text=type_text,
-                                group=group.names,
+                            if tracing:
+                                self.tracer.inc("module.groups.skipped")
+                                self.tracer.event(
+                                    "module.skip",
+                                    names=",".join(group.names),
+                                    blocked_on=blocked,
+                                )
+                            continue
+                        keys = {
+                            binding.name: binding_key(binding, group, dep_hashes, env)
+                            for binding in group.bindings
+                        }
+                        entries = {
+                            name: self.cache.peek(name, key) for name, key in keys.items()
+                        }
+                        if all(entry is not None for entry in entries.values()):
+                            self.cache.hits += len(entries)
+                            stats.cache_hits += len(entries)
+                            stats.groups_cached += 1
+                            stats.group_timings.append(
+                                GroupTiming(group.names, layer_index, 0.0, cached=True)
                             )
-                            new_bindings[binding.name] = type_
-                            dep_hashes[binding.name] = entry.type_hash
-                        else:
-                            reports[binding.name] = BindingReport(
-                                name=binding.name,
-                                index=indices[binding.name],
-                                diagnostic=outcome.diagnostics[binding.name],
-                                group=group.names,
+                            if tracing:
+                                self.tracer.inc("module.cache.hits", len(entries))
+                                cutoff = sorted(group.deps & rechecked)
+                                if cutoff:
+                                    self.tracer.inc("module.cache.cutoffs")
+                                    self.tracer.event(
+                                        "module.cache.cutoff",
+                                        names=",".join(group.names),
+                                        unchanged_deps=cutoff,
+                                    )
+                                else:
+                                    self.tracer.event(
+                                        "module.cache.hit", names=",".join(group.names)
+                                    )
+                            for binding in group.bindings:
+                                entry = entries[binding.name]
+                                reports[binding.name] = BindingReport(
+                                    name=binding.name,
+                                    index=indices[binding.name],
+                                    type_text=entry.type_text,
+                                    cached=True,
+                                    group=group.names,
+                                )
+                                new_bindings[binding.name] = entry.type_
+                                dep_hashes[binding.name] = entry.type_hash
+                            continue
+                        self.cache.misses += len(entries)
+                        stats.cache_misses += len(entries)
+                        if tracing:
+                            self.tracer.inc("module.cache.misses", len(entries))
+                            self.tracer.event(
+                                "module.cache.miss", names=",".join(group.names)
                             )
-                            failed.add(binding.name)
-            if new_bindings:
-                env = env.extended_many(new_bindings)
+                        pending.append((group, keys))
+
+                    if pending:
+                        if tracing and layer_span is not None:
+                            layer_span.attrs["pending"] = len(pending)
+                            layer_span.attrs["jobs"] = min(self.jobs, len(pending))
+                        env_now = env
+
+                        def run(
+                            item: tuple[BindingGroup, dict[str, str]],
+                            budget: Budget | None,
+                            _env: Environment = env_now,
+                            _parent=layer_span,
+                        ) -> GroupOutcome:
+                            return check_group(
+                                item[0],
+                                _env,
+                                self.instances,
+                                self.options,
+                                budget=budget,
+                                indices=indices,
+                                tracer=self.tracer,
+                                parent_span=_parent,
+                            )
+
+                        outcomes = self._pool.map(run, pending)
+                        stats.groups_checked += len(pending)
+                        for (group, keys), outcome in zip(pending, outcomes):
+                            rechecked.update(group.names)
+                            stats.group_timings.append(
+                                GroupTiming(
+                                    group.names, layer_index, outcome.seconds, False
+                                )
+                            )
+                            for binding in group.bindings:
+                                if binding.name in outcome.types:
+                                    type_ = outcome.types[binding.name]
+                                    entry = self.cache.store(
+                                        binding.name, keys[binding.name], type_
+                                    )
+                                    type_text = entry.type_text
+                                    reports[binding.name] = BindingReport(
+                                        name=binding.name,
+                                        index=indices[binding.name],
+                                        type_text=type_text,
+                                        group=group.names,
+                                    )
+                                    new_bindings[binding.name] = type_
+                                    dep_hashes[binding.name] = entry.type_hash
+                                else:
+                                    reports[binding.name] = BindingReport(
+                                        name=binding.name,
+                                        index=indices[binding.name],
+                                        diagnostic=outcome.diagnostics[binding.name],
+                                        group=group.names,
+                                    )
+                                    failed.add(binding.name)
+                    if new_bindings:
+                        env = env.extended_many(new_bindings)
 
         stats.elapsed_seconds = time.perf_counter() - started
         ordered = [reports[name] for name in module.names]

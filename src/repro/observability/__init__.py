@@ -1,0 +1,74 @@
+"""Observability layer: structured tracing, metrics and trace explanation.
+
+The GI pipeline's behaviour hinges on intermediate state that the final
+type never shows — which guardedness class each quantified variable got
+(Figures 4–5), which constraint the solver picked and which rule rewrote
+it (Figures 6–10), where the budget went, which cache entries saved a
+re-check.  This package makes all of that observable without adding any
+dependency and without taxing the hot paths when it is off:
+
+* :mod:`repro.observability.tracer` — the core: a thread-safe span tree
+  (phase/constraint/binding attributes, monotonic-clock timings) plus
+  point events, behind a :class:`Tracer` protocol whose no-op default
+  (:data:`NULL_TRACER`) reduces every instrumentation site to a single
+  ``enabled`` check;
+* :mod:`repro.observability.metrics` — counters, gauges and histograms
+  with a plain-text summary table;
+* :mod:`repro.observability.events` — the JSONL event schema (one event
+  per line, replayable), a validator, and file I/O;
+* :mod:`repro.observability.render` — human-readable span trees, the
+  metrics table, and a per-span-name profile;
+* :mod:`repro.observability.explain` — renders a solver trace as a
+  derivation narrative ("picked inst(α ⩽ ∀a. a→a); freshened a at sort
+  u because guarded"), the paper-fidelity debugging companion to the
+  declarative replay verifier (§4.4).
+
+Instrumented components (``core.infer``/``solver``/``unify``/
+``generate``/``classify``, ``modules.engine``, ``robustness``) accept a
+``tracer`` that defaults to ``None``; every hot-path hook is guarded by
+``tracer is not None and tracer.enabled`` so a build without tracing
+pays one short-circuited check per event site.
+"""
+
+from repro.observability.events import (
+    SCHEMA_VERSION,
+    JsonlWriter,
+    read_trace,
+    validate_event,
+    validate_line,
+)
+from repro.observability.explain import explain_events, explain_tracer
+from repro.observability.metrics import Metrics
+from repro.observability.render import (
+    render_metrics,
+    render_profile,
+    render_span_tree,
+    spans_from_events,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    TracerLike,
+)
+
+__all__ = [
+    "JsonlWriter",
+    "Metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "TracerLike",
+    "explain_events",
+    "explain_tracer",
+    "read_trace",
+    "render_metrics",
+    "render_profile",
+    "render_span_tree",
+    "spans_from_events",
+    "validate_event",
+    "validate_line",
+]

@@ -1,0 +1,119 @@
+"""The trace explainer: a solver trace as a readable derivation narrative.
+
+Debates about what an inference algorithm *did* — which constraint it
+picked, which Figure 8/10 rule rewrote it, which guardedness class each
+quantified variable received and why — are settled with traces, not with
+final types.  This module turns the point events the instrumented solver
+emits into prose::
+
+    step 4 (level 0): picked Inst  α1 ⩽m_• [...] ; α2 ~ ...
+      rule inst∀l: freshened ∀-binders — a ↦ u (guarded under a type
+      constructor in an argument)
+      bound α3 := [β4]
+
+It works on live tracer events and on replayed JSONL files alike, which
+makes it the paper-fidelity debugging companion the declarative replay
+verifier (§4.4) has needed: run the syntax-directed solver once, keep
+the trace, and read back the derivation it committed to.
+"""
+
+from __future__ import annotations
+
+SORT_REASON = {
+    "u": "guarded under a type constructor in an argument",
+    "t": "occurs naked in an argument (top-level monomorphic)",
+    "m": "occurs only in the result (fully monomorphic)",
+}
+
+_RULE_TEXT = {
+    "inst∀l": "freshened ∀-binders",
+    "inst→": "consumed one expected argument (head must be an arrow)",
+    "instϵ": "no arguments left — unified the instantiated head with the result",
+    "inst∀r": "skolemised the polymorphic right-hand side one level deeper",
+    "inst⨅l": "released the captured generalisation scheme into this scope",
+    "quant": "opened a nested implication scope",
+    "dupl": "discharged against an identical local given",
+    "instance": "discharged against the instance environment",
+}
+
+
+def _sorts_text(sorts: dict) -> str:
+    parts = []
+    for binder, symbol in sorts.items():
+        reason = SORT_REASON.get(symbol, "unclassified")
+        parts.append(f"{binder} ↦ {symbol} ({reason})")
+    return ", ".join(parts)
+
+
+def _explain_point(name: str, attrs: dict) -> str | None:
+    if name == "solver.step":
+        return (
+            f"step {attrs.get('step')} (level {attrs.get('level')}): "
+            f"picked {attrs.get('kind')}  {attrs.get('constraint')}"
+        )
+    if name == "solver.rule":
+        rule = attrs.get("rule", "?")
+        line = f"  rule {rule}: {_RULE_TEXT.get(rule, 'applied')}"
+        if attrs.get("sorts"):
+            line += f" — {_sorts_text(attrs['sorts'])}"
+        if attrs.get("bits"):
+            line += f" [ω = {attrs['bits']}]"
+        if attrs.get("skolems"):
+            line += f" — skolems {', '.join(attrs['skolems'])}"
+        if attrs.get("captured") is not None:
+            line += f" — {attrs['captured']} captured variable(s) refreshed"
+        if attrs.get("class_constraint"):
+            line += f" — {attrs['class_constraint']}"
+        return line
+    if name == "classify.binders":
+        return (
+            f"  classification ▷{attrs.get('sort', '?')}_{attrs.get('bits', '')} "
+            f"of `{attrs.get('type')}`: {_sorts_text(attrs.get('sorts') or {})}"
+        )
+    if name == "solver.defer":
+        return f"  deferred: {attrs.get('reason')}  ({attrs.get('constraint')})"
+    if name == "solver.default":
+        return (
+            f"defaulting: bound blocker {attrs.get('var')} to a fresh fully "
+            f"monomorphic variable — impredicativity is never guessed "
+            f"(Theorem 3.2)"
+        )
+    if name == "unify.bind":
+        return (
+            f"    bound {attrs.get('var')} := {attrs.get('type')} "
+            f"(sort {attrs.get('sort')}, level {attrs.get('level')})"
+        )
+    if name == "solver.residual":
+        return f"residual class constraint kept for the context: {attrs.get('constraint')}"
+    if name == "fault.injected":
+        return f"!! injected fault fired: {attrs.get('trigger')}"
+    if name == "budget.exceeded":
+        return (
+            f"!! budget exceeded in {attrs.get('phase')}: "
+            f"{attrs.get('limit_name')} limit of {attrs.get('limit')}"
+        )
+    if name == "infer.result":
+        return f"result: {attrs.get('type')}"
+    if name == "infer.error":
+        return f"rejected: [{attrs.get('error_class')}] {attrs.get('message')}"
+    return None
+
+
+def explain_events(events: list[dict]) -> str:
+    """The derivation narrative for a list of trace events (live or
+    replayed from JSONL)."""
+    lines: list[str] = []
+    for event in events:
+        if event.get("event") != "point":
+            continue
+        rendered = _explain_point(event.get("name", ""), event.get("attrs") or {})
+        if rendered is not None:
+            lines.append(rendered)
+    if not lines:
+        return "(no solver events in trace — was tracing enabled?)"
+    return "\n".join(lines)
+
+
+def explain_tracer(tracer) -> str:
+    """Narrative for a live tracer's recorded events."""
+    return explain_events(tracer.events)

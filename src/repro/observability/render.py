@@ -1,0 +1,146 @@
+"""Human-readable renderings: span trees, metrics tables, profiles.
+
+Everything here is pure formatting over data the tracer (or a replayed
+JSONL file) already holds, so the CLI, the REPL and the tests share one
+presentation.
+"""
+
+from __future__ import annotations
+
+from repro.observability.metrics import Metrics
+from repro.observability.tracer import Span
+
+
+def format_duration(seconds: float) -> str:
+    """``532µs`` / ``12.3ms`` / ``1.204s`` — three significant scales."""
+    if seconds < 0.001:
+        return f"{seconds * 1_000_000:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _attr_text(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key, value in attrs.items():
+        text = str(value)
+        if len(text) > 48:
+            text = text[:48] + "…"
+        parts.append(f"{key}={text}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def render_span_tree(roots: list[Span]) -> str:
+    """An indented tree, one line per span, with durations and attrs."""
+    lines: list[str] = []
+
+    def walk(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        lines.append(
+            f"{prefix}{connector}{span.name}"
+            f"{_attr_text(span.attrs)}  {format_duration(span.duration)}"
+        )
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(span.children):
+            walk(child, child_prefix, index == len(span.children) - 1, False)
+
+    for root in roots:
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: Metrics) -> str:
+    """The ``--metrics`` summary table."""
+    snapshot = metrics.to_dict()
+    rows: list[tuple[str, str]] = []
+    for name, value in snapshot["counters"].items():
+        rows.append((name, str(value)))
+    for name, value in snapshot["gauges"].items():
+        rows.append((name, f"{value:g}" if isinstance(value, float) else str(value)))
+    for name, summary in snapshot["histograms"].items():
+        if summary is None:
+            continue
+        rows.append(
+            (
+                name,
+                f"n={summary['count']} min={summary['min']:g} "
+                f"p50={summary['p50']:g} p95={summary['p95']:g} "
+                f"max={summary['max']:g} mean={summary['mean']:g}",
+            )
+        )
+    if not rows:
+        return "metrics: (none recorded)"
+    width = max(len(name) for name, _ in rows)
+    lines = ["metric" + " " * (width - 6 + 2) + "value", "-" * (width + 8)]
+    for name, value in rows:
+        lines.append(f"{name.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def render_profile(roots: list[Span]) -> str:
+    """The ``--profile`` table: per span name, calls / total / self time.
+
+    *Self* time is total minus the time spent in child spans, which is
+    what points at the actual hot phase rather than at its ancestors.
+    """
+    totals: dict[str, float] = {}
+    selfs: dict[str, float] = {}
+    calls: dict[str, int] = {}
+    for root in roots:
+        for span in root.walk():
+            child_time = sum(child.duration for child in span.children)
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+            selfs[span.name] = selfs.get(span.name, 0.0) + max(
+                0.0, span.duration - child_time
+            )
+            calls[span.name] = calls.get(span.name, 0) + 1
+    if not totals:
+        return "profile: (no spans recorded)"
+    names = sorted(totals, key=lambda name: -selfs[name])
+    width = max(len(name) for name in names)
+    lines = [
+        f"{'span'.ljust(width)}  {'calls':>6}  {'total':>9}  {'self':>9}",
+        "-" * (width + 30),
+    ]
+    for name in names:
+        lines.append(
+            f"{name.ljust(width)}  {calls[name]:>6}  "
+            f"{format_duration(totals[name]):>9}  {format_duration(selfs[name]):>9}"
+        )
+    return "\n".join(lines)
+
+
+def spans_from_events(events: list[dict]) -> list[Span]:
+    """Rebuild the span tree from (replayed) trace events.
+
+    The inverse of what the tracer emits: ``span_start``/``span_end``
+    pairs become :class:`Span` nodes with the same ids, names, attrs and
+    parentage, so a trace written to JSONL renders identically to the
+    live run.
+    """
+    spans: dict[int, Span] = {}
+    roots: list[Span] = []
+    for event in events:
+        kind = event.get("event")
+        if kind == "span_start":
+            span = Span(
+                event["span"],
+                event.get("parent"),
+                event["name"],
+                dict(event.get("attrs") or {}),
+                float(event["ts"]),
+                int(event.get("thread") or 0),
+            )
+            spans[span.span_id] = span
+            parent = spans.get(span.parent_id) if span.parent_id is not None else None
+            if parent is None:
+                roots.append(span)
+            else:
+                parent.children.append(span)
+        elif kind == "span_end":
+            span = spans.get(event["span"])
+            if span is not None:
+                span.end = float(event["ts"])
+    return roots

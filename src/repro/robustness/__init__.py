@@ -33,6 +33,7 @@ _BATCH_EXPORTS = (
     "check_batch",
     "read_batch_file",
     "render_text",
+    "seeded_fault_plan",
 )
 
 __all__ = [

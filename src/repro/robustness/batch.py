@@ -10,6 +10,8 @@ rest of the batch.
 
 from __future__ import annotations
 
+import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -49,6 +51,16 @@ class Diagnostic:
     binding: str | None = None
     """For module checking: the name of the top-level binding at fault."""
 
+    traceback: str | None = None
+    """For contained internal failures: the formatted original traceback
+    (from the :class:`~repro.core.errors.InternalError` snapshot), so
+    ``--json`` consumers see where a crash came from.  Never rendered
+    into the one-line text report."""
+
+    seed: int | None = None
+    """For ``--seed`` fault-injection sweeps: the sweep seed that
+    produced this run's fault plan, for exact reproduction."""
+
     def to_dict(self) -> dict:
         return {
             "severity": self.severity,
@@ -57,6 +69,8 @@ class Diagnostic:
             "message": self.message,
             "phase": self.phase,
             "binding": self.binding,
+            "traceback": self.traceback,
+            "seed": self.seed,
         }
 
 
@@ -110,6 +124,21 @@ class BatchResult:
         }
 
 
+def seeded_fault_plan(seed: int, index: int) -> FaultPlan:
+    """The deterministic fault plan for batch item ``index`` of sweep
+    ``seed``.
+
+    Each item gets its own trigger, derived from ``f"{seed}:{index}"`` so
+    the same seed reproduces the same plan per item regardless of batch
+    size or ordering: roughly half the items are armed to fail at a
+    solver step (1–64), the other half at a unification depth (1–16).
+    """
+    rng = random.Random(f"{seed}:{index}")
+    if rng.random() < 0.5:
+        return FaultPlan(fail_at_solver_step=rng.randint(1, 64))
+    return FaultPlan(fail_at_unify_depth=rng.randint(1, 16))
+
+
 def check_batch(
     sources: Iterable[str],
     env: Environment | None = None,
@@ -118,6 +147,8 @@ def check_batch(
     budget: Budget | None = None,
     faults: FaultPlan | None = None,
     jobs: int = 1,
+    seed: int | None = None,
+    tracer=None,
 ) -> BatchResult:
     """Type-check every expression, isolating each under its own budget.
 
@@ -132,33 +163,72 @@ def check_batch(
     engine uses), each worker under its own cloned budget; results keep
     input order.  Deterministic fault injection is inherently serial
     (a :class:`FaultPlan` counts engine events in order), so a plan
-    forces ``jobs=1``.
+    forces ``jobs=1`` — as does ``seed``, which arms a *per-item* plan
+    from :func:`seeded_fault_plan` for reproducible fault sweeps and
+    stamps the seed into every resulting diagnostic.
     """
     from repro.robustness.pool import WorkerPool, clone_budget
 
     sources = list(sources)
-    if faults is not None:
-        jobs = 1
-    if jobs <= 1:
-        inferencer = Inferencer(env, instances, options, budget=budget, faults=faults)
+    tracing = tracer is not None and tracer.enabled
+    batch_cm = (
+        tracer.span("batch", items=len(sources), jobs=jobs)
+        if tracing
+        else nullcontext()
+    )
+    with batch_cm as batch_span:
+        if faults is not None or seed is not None:
+            jobs = 1
+        if jobs <= 1:
+            shared = (
+                None
+                if seed is not None
+                else Inferencer(
+                    env, instances, options, budget=budget, faults=faults, tracer=tracer
+                )
+            )
+            result = BatchResult()
+            for index, source in enumerate(sources):
+                inferencer = shared or Inferencer(
+                    env,
+                    instances,
+                    options,
+                    budget=budget,
+                    faults=seeded_fault_plan(seed, index),
+                    tracer=tracer,
+                )
+                item_cm = (
+                    tracer.span("batch.item", parent=batch_span, index=index)
+                    if tracing
+                    else nullcontext()
+                )
+                with item_cm:
+                    result.items.append(_check_one(inferencer, index, source, seed))
+            return result
+
+        pool = WorkerPool(jobs=jobs, budget_factory=lambda: clone_budget(budget))
+
+        def run(indexed: tuple[int, str], worker_budget: Budget | None) -> BatchItem:
+            index, source = indexed
+            worker = Inferencer(
+                env, instances, options, budget=worker_budget, tracer=tracer
+            )
+            item_cm = (
+                tracer.span("batch.item", parent=batch_span, index=index)
+                if tracing
+                else nullcontext()
+            )
+            with item_cm:
+                return _check_one(worker, index, source)
+
         result = BatchResult()
-        for index, source in enumerate(sources):
-            result.items.append(_check_one(inferencer, index, source))
+        result.items.extend(pool.map(run, list(enumerate(sources))))
         return result
 
-    pool = WorkerPool(jobs=jobs, budget_factory=lambda: clone_budget(budget))
 
-    def run(indexed: tuple[int, str], worker_budget: Budget | None) -> BatchItem:
-        index, source = indexed
-        worker = Inferencer(env, instances, options, budget=worker_budget)
-        return _check_one(worker, index, source)
-
-    result = BatchResult()
-    result.items.extend(pool.map(run, list(enumerate(sources))))
-    return result
-
-
-def _check_one(inferencer: Inferencer, index: int, source: str) -> BatchItem:
+def _check_one(
+    inferencer: Inferencer, index: int, source: str, seed: int | None = None
+) -> BatchItem:
     item = BatchItem(index=index, source=source)
     try:
         term = _parse_contained(source)
@@ -172,6 +242,8 @@ def _check_one(inferencer: Inferencer, index: int, source: str) -> BatchItem:
             error_class=type(error).__name__,
             message=str(error),
             phase=phase,
+            traceback=getattr(error, "snapshot", {}).get("traceback"),
+            seed=seed,
         )
     return item
 

@@ -27,6 +27,10 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import BudgetExceededError
 
+GAUGE_SAMPLE_EVERY = 64
+"""Sample budget gauges once per this many solver steps — frequent
+enough to see fuel draining in a trace, rare enough to stay cheap."""
+
 
 @dataclass
 class Budget:
@@ -36,6 +40,12 @@ class Budget:
     max_unify_depth: int | None = None
     wall_clock: float | None = None
     """Deadline in seconds, measured from :meth:`start`."""
+
+    tracer: object | None = field(default=None, repr=False, compare=False)
+    """Optional :class:`~repro.observability.tracer.TracerLike`; when set
+    and enabled, the budget samples its counters as gauges every
+    :data:`GAUGE_SAMPLE_EVERY` solver steps and records a
+    ``budget.exceeded`` event before raising."""
 
     solver_steps: int = field(default=0, init=False)
     """Steps the current run has used (updated by :meth:`check_solver_step`)."""
@@ -63,7 +73,18 @@ class Budget:
     def check_solver_step(self, steps: int, constraint=None) -> None:
         """Record ``steps`` and raise if the step or time budget is gone."""
         self.solver_steps = steps
+        if (
+            self.tracer is not None
+            and self.tracer.enabled
+            and steps % GAUGE_SAMPLE_EVERY == 0
+        ):
+            self.tracer.gauge("budget.solver_steps", steps)
+            if self.max_solver_steps is not None:
+                self.tracer.gauge(
+                    "budget.solver_steps_remaining", self.max_solver_steps - steps
+                )
         if self.max_solver_steps is not None and steps > self.max_solver_steps:
+            self._trace_exceeded("solver", "max_solver_steps", self.max_solver_steps)
             raise BudgetExceededError(
                 phase="solver",
                 limit_name="max_solver_steps",
@@ -77,7 +98,10 @@ class Budget:
         """Record ``depth`` and raise if the depth or time budget is gone."""
         if depth > self.peak_unify_depth:
             self.peak_unify_depth = depth
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.gauge("budget.peak_unify_depth", depth)
         if self.max_unify_depth is not None and depth > self.max_unify_depth:
+            self._trace_exceeded("unify", "max_unify_depth", self.max_unify_depth)
             raise BudgetExceededError(
                 phase="unify",
                 limit_name="max_unify_depth",
@@ -88,12 +112,24 @@ class Budget:
 
     def _check_deadline(self, phase: str, constraint=None) -> None:
         if self._deadline_at is not None and time.monotonic() > self._deadline_at:
+            self._trace_exceeded("deadline", "wall_clock", self.wall_clock)
             raise BudgetExceededError(
                 phase="deadline",
                 limit_name="wall_clock",
                 limit=self.wall_clock,
                 counters=self.counters(),
                 constraint=constraint,
+            )
+
+    def _trace_exceeded(self, phase: str, limit_name: str, limit) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.inc("budget.exceeded")
+            self.tracer.event(
+                "budget.exceeded",
+                phase=phase,
+                limit_name=limit_name,
+                limit=limit,
+                counters=self.counters(),
             )
 
     # ------------------------------------------------------------------

@@ -33,6 +33,10 @@ class FaultPlan:
     fail_at_solver_step: int | None = None
     fail_at_unify_depth: int | None = None
 
+    tracer: object | None = field(default=None, repr=False, compare=False)
+    """Optional :class:`~repro.observability.tracer.TracerLike`; fired
+    faults are tagged into the active span as ``fault.injected`` events."""
+
     fired: list[str] = field(default_factory=list, init=False)
     """Descriptions of faults that fired, for test assertions."""
 
@@ -46,6 +50,7 @@ class FaultPlan:
     def solver_step(self, step: int, constraint=None) -> None:
         if self.fail_at_solver_step is not None and step == self.fail_at_solver_step:
             self.fired.append(f"solver_step={step}")
+            self._trace(f"solver_step={step}")
             raise InjectedFaultError(
                 f"injected fault at solver step {step} (constraint: {constraint})"
             )
@@ -53,4 +58,10 @@ class FaultPlan:
     def unify_depth(self, depth: int) -> None:
         if self.fail_at_unify_depth is not None and depth == self.fail_at_unify_depth:
             self.fired.append(f"unify_depth={depth}")
+            self._trace(f"unify_depth={depth}")
             raise InjectedFaultError(f"injected fault at unification depth {depth}")
+
+    def _trace(self, trigger: str) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.inc("faults.fired")
+            self.tracer.event("fault.injected", trigger=trigger)

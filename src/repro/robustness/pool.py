@@ -22,10 +22,12 @@ that return diagnostics instead of raising (see
 from __future__ import annotations
 
 import threading
+import traceback as _traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.core.errors import GIError, InternalError
 from repro.robustness.budget import Budget
 
 Item = TypeVar("Item")
@@ -33,13 +35,14 @@ Result = TypeVar("Result")
 
 
 def clone_budget(budget: Budget | None) -> Budget | None:
-    """A fresh, un-started budget with the same limits."""
+    """A fresh, un-started budget with the same limits (and tracer)."""
     if budget is None:
         return None
     return Budget(
         max_solver_steps=budget.max_solver_steps,
         max_unify_depth=budget.max_unify_depth,
         wall_clock=budget.wall_clock,
+        tracer=budget.tracer,
     )
 
 
@@ -59,16 +62,46 @@ class WorkerPool:
         items = list(items)
         if self.jobs <= 1 or len(items) <= 1:
             budget = self._make_budget()
-            return [fn(item, budget) for item in items]
+            return [self._contained(fn, item, budget) for item in items]
         local = threading.local()
 
         def run(item: Item) -> Result:
             if not hasattr(local, "budget"):
                 local.budget = self._make_budget()
-            return fn(item, local.budget)
+            return self._contained(fn, item, local.budget)
 
         with ThreadPoolExecutor(max_workers=self.jobs) as executor:
             return list(executor.map(run, items))
+
+    @staticmethod
+    def _contained(
+        fn: Callable[[Item, Budget | None], Result],
+        item: Item,
+        budget: Budget | None,
+    ) -> Result:
+        """Run one item, containing non-GI crashes of the *work function*.
+
+        ``fn`` is supposed to catch engine errors itself and return
+        diagnostics; if it crashes anyway (a bug in the driver, not the
+        engine), the exception crosses a thread boundary and the original
+        traceback would be lost to ``--json`` consumers.  Convert it here
+        into an :class:`InternalError` whose snapshot carries the worker
+        thread's name and the *formatted remote traceback*, so structured
+        output shows where the crash actually happened.
+        """
+        try:
+            return fn(item, budget)
+        except GIError:
+            raise
+        except Exception as error:  # noqa: BLE001 — worker containment
+            raise InternalError(
+                error,
+                phase="worker",
+                snapshot={
+                    "worker": threading.current_thread().name,
+                    "traceback": _traceback.format_exc(),
+                },
+            ) from error
 
     def _make_budget(self) -> Budget | None:
         return self.budget_factory() if self.budget_factory else None

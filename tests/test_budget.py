@@ -138,8 +138,21 @@ class TestCrashContainment:
             "current_level",
             "substitution_size",
             "solver_steps",
+            "traceback",
         }
-        assert all(isinstance(value, int) for value in snapshot.values())
+        counts = {k: v for k, v in snapshot.items() if k != "traceback"}
+        assert all(isinstance(value, int) for value in counts.values())
+
+    def test_snapshot_carries_formatted_traceback(self):
+        gi = Inferencer(ENV, faults=FaultPlan(fail_at_solver_step=2))
+        with pytest.raises(InternalError) as info:
+            gi.infer(parse_term("app runST argST"))
+        trace = info.value.snapshot["traceback"]
+        assert "InjectedFaultError" in trace
+        assert "Traceback (most recent call last)" in trace
+        # The one-line diagnostic stays one line: the traceback lives only
+        # in the snapshot, never in the rendered message.
+        assert str(info.value).count("\n") == 0
 
     def test_accepts_survives_internal_failure(self):
         gi = Inferencer(ENV, faults=FaultPlan(fail_at_unify_depth=1))
