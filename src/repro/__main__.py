@@ -7,12 +7,14 @@ Subcommands::
     python -m repro run "runST $ argST"       # evaluate
     python -m repro elaborate "id : ids"      # show the System F witness
     python -m repro batch exprs.txt --json    # check many expressions
+    python -m repro batch tests/corpus        # replay a counterexample corpus
     python -m repro module lib.gi --stats     # check a module file
+    python -m repro fuzz --seed 42 --count 500   # conformance sweep
     python -m repro figure2                   # regenerate the table
     python -m repro trace run.jsonl           # replay a recorded trace
     python -m repro repl                      # interactive loop
 
-``infer``, ``batch`` and ``module`` accept the observability flags:
+``infer``, ``batch``, ``module`` and ``fuzz`` accept the observability flags:
 ``--trace`` prints the span tree of the run, ``--trace FILE`` streams
 JSONL trace events to ``FILE`` (replayable with ``repro trace``),
 ``--metrics`` prints the counter/gauge/histogram summary and
@@ -278,6 +280,50 @@ def cmd_module(
             obs.finish()
 
 
+def cmd_fuzz(arguments, obs: _Obs | None = None) -> int:
+    from pathlib import Path
+
+    from repro.conformance import (
+        DEFAULT_ORACLES,
+        ORACLES,
+        FuzzConfig,
+        render_fuzz_text,
+        run_fuzz,
+    )
+
+    oracles = tuple(arguments.oracle) if arguments.oracle else DEFAULT_ORACLES
+    unknown = [name for name in oracles if name not in ORACLES]
+    if unknown:
+        print(
+            f"error: unknown oracle(s) {', '.join(unknown)} "
+            f"(available: {', '.join(ORACLES)})",
+            file=sys.stderr,
+        )
+        return 2
+    config = FuzzConfig(
+        seed=arguments.seed,
+        count=arguments.count,
+        oracles=oracles,
+        jobs=arguments.jobs,
+        corpus_dir=Path(arguments.corpus) if arguments.corpus else None,
+        fault_step=arguments.fault_step,
+        fault_depth=arguments.fault_depth,
+    )
+    try:
+        report = run_fuzz(config, tracer=obs.tracer if obs is not None else None)
+        if arguments.json:
+            print(json_module.dumps(report.to_dict(), indent=2))
+        else:
+            print(render_fuzz_text(report))
+        return 0 if report.ok else 1
+    except Exception as error:  # noqa: BLE001 — CLI containment
+        print(_internal_diagnostic(error), file=sys.stderr)
+        return 2
+    finally:
+        if obs is not None:
+            obs.finish()
+
+
 def cmd_trace(path: str, explain: bool, validate: bool) -> int:
     """Replay, narrate or schema-check a recorded JSONL trace file."""
     from repro.observability import (
@@ -529,6 +575,52 @@ def main(argv: list[str] | None = None) -> int:
         help="do not load/save the on-disk result cache (<file>.cache.json)",
     )
     _add_observability_flags(p_module)
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="conformance sweep: seeded term generation + oracle battery",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="sweep seed (same seed ⇒ same cases)"
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=100, help="number of cases to generate"
+    )
+    p_fuzz.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this oracle (repeatable; default: the full battery)",
+    )
+    p_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="check cases concurrently with N workers (order preserved)",
+    )
+    p_fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="write minimized counterexamples as replayable .gi files here",
+    )
+    p_fuzz.add_argument(
+        "--json", action="store_true", help="emit the structured sweep report"
+    )
+    p_fuzz.add_argument(
+        "--fault-step",
+        type=int,
+        default=None,
+        help="arm an injected solver fault at step N for every case "
+        "(self-test: the crash oracle must catch it; forces --jobs 1)",
+    )
+    p_fuzz.add_argument(
+        "--fault-depth",
+        type=int,
+        default=None,
+        help="arm an injected unifier fault at depth D for every case",
+    )
+    _add_observability_flags(p_fuzz)
     p_trace = sub.add_parser(
         "trace",
         help="replay a recorded JSONL trace: span tree, narrative, or schema check",
@@ -579,6 +671,8 @@ def main(argv: list[str] | None = None) -> int:
             no_cache=arguments.no_cache,
             obs=_Obs.from_args(arguments),
         )
+    if arguments.command == "fuzz":
+        return cmd_fuzz(arguments, obs=_Obs.from_args(arguments))
     if arguments.command == "trace":
         return cmd_trace(arguments.file, arguments.explain, arguments.validate)
     if arguments.command == "figure2":

@@ -1,0 +1,102 @@
+"""Persisting minimized counterexamples as replayable ``.gi`` files.
+
+A corpus file is deliberately compatible with the ``repro batch`` input
+format (:func:`repro.robustness.batch.read_batch_file` skips blank lines
+and ``--`` comments): a comment header recording provenance, then the
+minimized term's source on a single line.  That makes every
+counterexample triple-purpose —
+
+* the fuzzer re-reads it to avoid filing duplicates,
+* ``python -m repro batch tests/corpus`` replays it through the
+  diagnostics/JSON pipeline,
+* ``tests/test_corpus.py`` re-runs every file's oracle battery forever
+  after, so a fixed divergence can never silently come back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.terms import Term
+from repro.syntax.parser import parse_term
+
+CORPUS_SUFFIX = ".gi"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable counterexample loaded from disk."""
+
+    path: Path
+    source: str
+    term: Term
+    metadata: dict[str, str]
+
+
+def counterexample_name(oracle: str, term: Term) -> str:
+    """Stable filename: the failing oracle plus a digest of the term."""
+    slug = oracle.replace(":", "-")
+    digest = hashlib.sha1(str(term).encode("utf-8")).hexdigest()[:12]
+    return f"{slug}-{digest}{CORPUS_SUFFIX}"
+
+
+def write_counterexample(
+    directory: Path,
+    term: Term,
+    oracle: str,
+    message: str,
+    metadata: dict[str, object] | None = None,
+) -> Path:
+    """Persist one minimized counterexample; returns the file path.
+
+    Idempotent: the digest-based name means re-finding the same shrunk
+    term overwrites the same file rather than piling up duplicates.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / counterexample_name(oracle, term)
+    lines = [f"-- oracle: {oracle}"]
+    for key, value in (metadata or {}).items():
+        lines.append(f"-- {key}: {value}")
+    for part in message.splitlines():
+        lines.append(f"-- detail: {part}")
+    lines.append(str(term))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def load_corpus(directory: Path) -> list[CorpusEntry]:
+    """Every ``.gi`` counterexample under ``directory`` (sorted, parsed)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob(f"*{CORPUS_SUFFIX}")):
+        entry = _load_file(path)
+        if entry is not None:
+            entries.append(entry)
+    return entries
+
+
+def _load_file(path: Path) -> CorpusEntry | None:
+    metadata: dict[str, str] = {}
+    source = None
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("--"):
+            body = line[2:].strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                metadata.setdefault(key.strip(), value.strip())
+            continue
+        source = line
+        break
+    if source is None:
+        return None
+    return CorpusEntry(
+        path=path, source=source, term=parse_term(source), metadata=metadata
+    )

@@ -1,0 +1,148 @@
+"""Metamorphic transforms: small, meaning-preserving program edits that
+must not change what GI infers.
+
+This is the property class "Seeking Stability by being Lazy and Shallow"
+argues for testing mechanically: inference should be *stable* under
+eta-expansion of an application head, adding the inferred type as a
+redundant annotation, let-floating an argument, and swapping independent
+let bindings.  Each transform takes the original term plus its
+:class:`~repro.core.infer.InferenceResult` and returns the transformed
+term, or ``None`` when its applicability guard fails (the guards encode
+exactly where the paper promises stability — e.g. eta-expansion is only
+type-preserving when the function's domain is fully monomorphic, because
+an unannotated lambda binder is monomorphic by the Lambda Rule).
+
+The fuzzer's ``metamorphic`` oracle asserts that every applicable
+transform preserves typeability and the inferred type up to
+alpha-equivalence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.infer import InferenceResult
+from repro.core.terms import (
+    Ann,
+    App,
+    Lam,
+    Let,
+    Term,
+    Var,
+    app,
+    free_vars,
+)
+from repro.core.types import Forall, is_fully_monomorphic, split_arrows
+
+Transform = Callable[[Term, InferenceResult], Optional[Term]]
+
+
+def eta_expand(term: Term, result: InferenceResult) -> Term | None:
+    """``e`` at ``τ1 → τ2``  ⇒  ``\\v. e v``  (fresh ``v``).
+
+    Guard: the principal type must be an unquantified arrow with a fully
+    monomorphic domain (the fresh binder is a plain ``Lam``, and the
+    Lambda Rule makes unannotated binders monomorphic), and the result
+    context must be empty so the type is the whole story.
+    """
+    type_ = result.type_
+    if isinstance(type_, Forall) or getattr(result, "context", ()):
+        return None
+    domains, _ = split_arrows(type_)
+    if not domains or not is_fully_monomorphic(domains[0]):
+        return None
+    fresh = _fresh_name(term)
+    return Lam(fresh, app(term, Var(fresh)))
+
+
+def annotate_inferred(term: Term, result: InferenceResult) -> Term | None:
+    """``e`` at ``σ``  ⇒  ``(e :: σ)``.
+
+    Checking a term against its own principal type must succeed — this is
+    the inferred type being *realisable* as an annotation (and exercises
+    the checking direction of every syntax node the term contains).
+    Guard: empty residual context, and skip terms already annotated at
+    the top (the transform would be the identity).
+    """
+    if getattr(result, "context", ()):
+        return None
+    if isinstance(term, Ann) and term.annotation == result.type_:
+        return None
+    return Ann(term, result.type_)
+
+
+def let_float_argument(term: Term, result: InferenceResult) -> Term | None:
+    """``f e1 … en``  ⇒  ``let v = ei in f e1 … v … en``.
+
+    Floating an argument into a ``let`` must preserve the result because
+    GI's ``let`` does **not** generalise (§3.5): the binding gets exactly
+    the argument's inferred type, so the application sees the same type
+    through the variable.  Guard: the argument must be in *inference*
+    mode — lambdas are excluded because their binder types come from the
+    expected type at the application site (``poly (\\x -> x)`` checks the
+    lambda against ``∀a. a → a``; floated out, the Lambda Rule gives it a
+    monomorphic binder and the skolem escapes).  Variables and literals
+    are skipped as no-ops.  The first eligible argument is chosen so the
+    oracle is deterministic.
+    """
+    if not isinstance(term, App) or not term.args:
+        return None
+    for position, argument in enumerate(term.args):
+        if argument.__class__.__name__ in ("Var", "Lit", "Lam", "AnnLam"):
+            continue
+        fresh = _fresh_name(term)
+        new_args = list(term.args)
+        new_args[position] = Var(fresh)
+        return Let(fresh, argument, App(term.head, tuple(new_args)))
+    return None
+
+
+def let_swap(term: Term, result: InferenceResult) -> Term | None:
+    """``let x = e1 in let y = e2 in e``  ⇒  swap the two bindings.
+
+    Guard: the bindings must be independent — ``x`` not free in ``e2``,
+    ``y`` not free in ``e1`` (vacuously true since ``y`` is bound later),
+    and distinct names so the swap does not change shadowing.
+    """
+    if not isinstance(term, Let) or not isinstance(term.body, Let):
+        return None
+    outer, inner = term, term.body
+    if outer.var == inner.var:
+        return None
+    if outer.var in free_vars(inner.bound):
+        return None
+    if inner.var in free_vars(outer.bound):
+        return None
+    return Let(inner.var, inner.bound, Let(outer.var, outer.bound, inner.body))
+
+
+#: Battery order is deterministic; the fuzzer applies every transform
+#: whose guard passes.
+TRANSFORMS: tuple[tuple[str, Transform], ...] = (
+    ("eta", eta_expand),
+    ("annotate", annotate_inferred),
+    ("let-float", let_float_argument),
+    ("let-swap", let_swap),
+)
+
+
+def applicable_transforms(
+    term: Term, result: InferenceResult
+) -> list[tuple[str, Term]]:
+    """Every (name, transformed term) pair whose guard passes — the unit
+    the ``metamorphic`` oracle and its tests iterate over."""
+    out = []
+    for name, transform in TRANSFORMS:
+        transformed = transform(term, result)
+        if transformed is not None:
+            out.append((name, transformed))
+    return out
+
+
+def _fresh_name(term: Term) -> str:
+    used = free_vars(term)
+    index = 1
+    while f"mv{index}" in used:
+        index += 1
+    return f"mv{index}"

@@ -1,0 +1,326 @@
+"""The conformance oracle battery.
+
+Each oracle checks one slice of the paper's metatheory on one term and
+returns a :class:`Violation` (or ``None``).  All oracles are
+*implications* conditioned on what GI itself says about the term, so
+they hold for arbitrary input — ill-typed terms simply exercise fewer of
+them:
+
+==============  =====================================================
+``crash``        GI only ever raises the :class:`GIError` taxonomy; a
+                 contained :class:`InternalError` (or anything escaping
+                 containment) is a bug (Section 4 / the robustness
+                 layer's no-crash guarantee).
+``roundtrip``    ``parse(pretty(t)) == t`` — the printer and parser are
+                 inverses on every generated shape.
+``declarative``  GI accepts ⇒ the declarative replay verifier accepts
+                 every instantiation the solver chose (Theorem 4.2,
+                 soundness direction, via :func:`verify_inference`).
+``systemf``      GI accepts ⇒ the elaborated System F term type-checks
+                 at an α-equivalent of the inferred type (Theorem C.1)
+                 and its erasure evaluates to the same value as the
+                 source term (elaboration preserves behaviour).
+``hm``           the HM baseline accepts ⇒ GI accepts with an
+                 α-equivalent principal type (Theorem 3.1).
+``metamorphic``  the applicable type-preserving transforms of
+                 :mod:`repro.conformance.metamorphic` preserve
+                 typeability and the inferred type.
+==============  =====================================================
+
+One inference run is shared by all oracles through
+:class:`OracleContext` (results are cached per term), so the battery
+costs roughly one ``infer`` plus the cheap replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.hm import HMInferencer
+from repro.core.declarative import verify_inference
+from repro.core.env import Environment
+from repro.core.errors import GIError, InternalError
+from repro.core.infer import InferenceResult, Inferencer, InferOptions
+from repro.core.terms import Term
+from repro.core.types import alpha_equal, rename_canonical
+from repro.interp import evaluate, prelude_env
+from repro.syntax.parser import parse_term
+from repro.systemf import elaborate_result, erase, typecheck
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure for one term."""
+
+    oracle: str
+    message: str
+    error_class: str | None = None
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+class OracleContext:
+    """Shared state for one oracle battery run: the environment, one
+    (budgeted, optionally fault-armed) inferencer, and a per-term cache
+    of inference outcomes so each term is inferred exactly once."""
+
+    def __init__(
+        self,
+        env: Environment,
+        budget=None,
+        faults=None,
+        options: InferOptions | None = None,
+    ) -> None:
+        self.env = env
+        self.budget = budget
+        self.faults = faults
+        self.options = options
+        self._outcomes: dict[Term, tuple[InferenceResult | None, GIError | None]] = {}
+
+    def outcome(self, term: Term) -> tuple[InferenceResult | None, GIError | None]:
+        """``(result, None)`` on acceptance, ``(None, error)`` on any
+        :class:`GIError` rejection (contained internal errors included)."""
+        cached = self._outcomes.get(term)
+        if cached is not None:
+            return cached
+        inferencer = Inferencer(
+            self.env, options=self.options, budget=self.budget, faults=self.faults
+        )
+        try:
+            outcome = (inferencer.infer(term), None)
+        except GIError as error:
+            outcome = (None, error)
+        self._outcomes[term] = outcome
+        return outcome
+
+
+# ---------------------------------------------------------------------
+# The oracles.
+# ---------------------------------------------------------------------
+
+
+def oracle_crash(ctx: OracleContext, term: Term) -> Violation | None:
+    try:
+        result, error = ctx.outcome(term)
+    except BaseException as escaped:  # noqa: BLE001 — escaping = the bug
+        return Violation(
+            "crash",
+            f"non-GIError escaped the containment boundary: {escaped}",
+            type(escaped).__name__,
+        )
+    if isinstance(error, InternalError):
+        return Violation(
+            "crash",
+            f"contained internal failure ({error.original_class} during "
+            f"{error.phase}): {error}",
+            error.original_class,
+        )
+    return None
+
+
+def oracle_roundtrip(ctx: OracleContext, term: Term) -> Violation | None:
+    source = str(term)
+    try:
+        reparsed = parse_term(source)
+    except GIError as error:
+        return Violation(
+            "roundtrip",
+            f"pretty-printed term does not parse back: {error}",
+            type(error).__name__,
+        )
+    if reparsed != term:
+        return Violation(
+            "roundtrip",
+            f"parse(pretty(t)) differs from t: `{source}` reparses as "
+            f"`{reparsed}`",
+        )
+    return None
+
+
+def oracle_declarative(ctx: OracleContext, term: Term) -> Violation | None:
+    result, _error = ctx.outcome(term)
+    if result is None:
+        return None
+    try:
+        report = verify_inference(result)
+    except Exception as error:  # noqa: BLE001 — a crashing verifier is a finding
+        return Violation(
+            "declarative",
+            f"declarative replay crashed: {error}",
+            type(error).__name__,
+        )
+    if not report.ok:
+        failure = report.failures[0]
+        return Violation(
+            "declarative",
+            f"solver instantiation not derivable declaratively "
+            f"({len(report.failures)}/{report.checked} failed): {failure.reason}",
+        )
+    return None
+
+
+def oracle_systemf(ctx: OracleContext, term: Term) -> Violation | None:
+    result, _error = ctx.outcome(term)
+    if result is None:
+        return None
+    try:
+        fterm = elaborate_result(result)
+        ftype = typecheck(fterm, ctx.env)
+    except GIError as error:
+        return Violation(
+            "systemf",
+            f"elaboration/F-checking of an accepted term failed: {error}",
+            type(error).__name__,
+        )
+    except Exception as error:  # noqa: BLE001 — elaborator crash is a finding
+        return Violation(
+            "systemf",
+            f"elaborator crashed on an accepted term: {error}",
+            type(error).__name__,
+        )
+    if not alpha_equal(rename_canonical(ftype), result.type_):
+        return Violation(
+            "systemf",
+            f"System F type `{rename_canonical(ftype)}` differs from the "
+            f"inferred `{result.type_}`",
+        )
+    source_outcome = _evaluate_contained(term)
+    erased_outcome = _evaluate_contained(erase(fterm))
+    if not _outcomes_agree(source_outcome, erased_outcome):
+        return Violation(
+            "systemf",
+            f"erasure changes behaviour: source evaluates to "
+            f"{_render_outcome(source_outcome)}, erased elaboration to "
+            f"{_render_outcome(erased_outcome)}",
+        )
+    return None
+
+
+def oracle_hm(ctx: OracleContext, term: Term) -> Violation | None:
+    try:
+        hm_type = HMInferencer(ctx.env).infer(term)
+    except GIError:
+        return None  # outside the λ→/HM fragment, or HM-untypeable
+    except RecursionError:
+        return None  # the baseline has no budget; deep terms are its limit
+    result, error = ctx.outcome(term)
+    if result is None:
+        return Violation(
+            "hm",
+            f"HM accepts with `{hm_type}` but GI rejects: {error} "
+            f"(Theorem 3.1 violated)",
+            type(error).__name__ if error is not None else None,
+        )
+    if not alpha_equal(rename_canonical(hm_type), result.type_):
+        return Violation(
+            "hm",
+            f"HM infers `{rename_canonical(hm_type)}` but GI infers "
+            f"`{result.type_}` (Theorem 3.1 violated)",
+        )
+    return None
+
+
+def oracle_metamorphic(ctx: OracleContext, term: Term) -> Violation | None:
+    from repro.conformance.metamorphic import TRANSFORMS
+
+    result, _error = ctx.outcome(term)
+    if result is None:
+        return None
+    for name, transform in TRANSFORMS:
+        transformed = transform(term, result)
+        if transformed is None:
+            continue
+        new_result, new_error = ctx.outcome(transformed)
+        if new_result is None:
+            return Violation(
+                f"metamorphic:{name}",
+                f"transform `{name}` loses typeability: `{transformed}` "
+                f"rejected with: {new_error}",
+                type(new_error).__name__ if new_error is not None else None,
+            )
+        if not alpha_equal(new_result.type_, result.type_):
+            return Violation(
+                f"metamorphic:{name}",
+                f"transform `{name}` changes the type: `{result.type_}` "
+                f"becomes `{new_result.type_}` on `{transformed}`",
+            )
+    return None
+
+
+#: Registry, in battery order — cheap structural checks first, then the
+#: implication oracles that need an inference result.
+ORACLES: dict[str, object] = {
+    "crash": oracle_crash,
+    "roundtrip": oracle_roundtrip,
+    "declarative": oracle_declarative,
+    "systemf": oracle_systemf,
+    "hm": oracle_hm,
+    "metamorphic": oracle_metamorphic,
+}
+
+DEFAULT_ORACLES: tuple[str, ...] = tuple(ORACLES)
+
+
+def run_battery(
+    ctx: OracleContext, term: Term, oracles: tuple[str, ...] = DEFAULT_ORACLES
+) -> Violation | None:
+    """Run the selected oracles in order; the first violation wins."""
+    for name in oracles:
+        violation = ORACLES[name](ctx, term)
+        if violation is not None:
+            return violation
+    return None
+
+
+# ---------------------------------------------------------------------
+# Evaluation comparison for the erasure half of the systemf oracle.
+# ---------------------------------------------------------------------
+
+
+def _evaluate_contained(term: Term):
+    """``("value", v)`` or ``("error", exception_class_name)``.
+
+    GI-accepted terms are strongly normalising (they elaborate to System
+    F), but evaluation can still fail honestly — ``head nil`` — and the
+    comparison only requires the *same* failure on both sides.
+    """
+    try:
+        return ("value", evaluate(term, prelude_env()))
+    except Exception as error:  # noqa: BLE001 — runtime errors are data here
+        return ("error", type(error).__name__)
+
+
+def _outcomes_agree(left, right) -> bool:
+    if left[0] != right[0]:
+        return False
+    if left[0] == "error":
+        return left[1] == right[1]
+    return _values_agree(left[1], right[1], depth=6)
+
+
+def _values_agree(left, right, depth: int) -> bool:
+    """Structural agreement up to unobservable function values."""
+    if depth <= 0:
+        return True
+    if callable(left) or callable(right):
+        return callable(left) and callable(right)
+    if isinstance(left, tuple) and isinstance(right, tuple):
+        return len(left) == len(right) and all(
+            _values_agree(l, r, depth - 1) for l, r in zip(left, right)
+        )
+    from repro.interp import DataValue
+
+    if isinstance(left, DataValue) and isinstance(right, DataValue):
+        return left.constructor == right.constructor and all(
+            _values_agree(l, r, depth - 1)
+            for l, r in zip(left.fields, right.fields)
+        )
+    return type(left) is type(right) and left == right
+
+
+def _render_outcome(outcome) -> str:
+    if outcome[0] == "error":
+        return f"a runtime error ({outcome[1]})"
+    value = outcome[1]
+    return "a function value" if callable(value) else repr(value)

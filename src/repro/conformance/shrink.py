@@ -1,0 +1,215 @@
+"""Greedy structural shrinking of counterexample terms.
+
+Given a term and a predicate "still fails its oracle", repeatedly try
+strictly smaller variants and keep the first that still fails, until no
+candidate does.  Properties the tests pin down:
+
+* **soundness** — the shrunk term still satisfies the predicate (it is
+  only ever replaced by a failing candidate);
+* **termination** — every accepted candidate is strictly smaller under
+  :func:`~repro.core.terms.term_size`, and a global check budget caps
+  pathological predicates;
+* **determinism** — candidates are generated in a fixed structural
+  order, so the same input shrinks to the same output.
+
+Candidates are (a) proper subterms hoisted to the top and (b) one-node
+simplifications (drop an annotation, drop arguments, inline a ``let``,
+collapse a ``case`` to an alternative body), each applied at every
+position; only strictly smaller variants are offered, which is what
+makes the termination argument one line.  Only *closed* candidates are offered —
+hoisting a lambda body would leak its binder — so the predicate always
+sees a term the fuzzer could have generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.terms import (
+    Ann,
+    AnnLam,
+    App,
+    Case,
+    CaseAlt,
+    Lam,
+    Let,
+    Lit,
+    Term,
+    Var,
+    free_vars,
+    term_size,
+)
+
+#: Hard cap on predicate evaluations per shrink run.
+DEFAULT_MAX_CHECKS = 2000
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    term: Term
+    original_size: int
+    final_size: int
+    steps: int
+    checks: int
+
+    @property
+    def reduced(self) -> bool:
+        return self.final_size < self.original_size
+
+
+def shrink(
+    term: Term,
+    still_fails: Callable[[Term], bool],
+    max_checks: int = DEFAULT_MAX_CHECKS,
+    on_step: Callable[[Term], None] | None = None,
+) -> ShrinkResult:
+    """Greedily minimise ``term`` while ``still_fails`` holds.
+
+    ``still_fails`` must be true of ``term`` itself (the caller found the
+    counterexample); it is never re-checked on the input.  ``on_step``
+    observes each accepted shrink (the runner emits ``fuzz.shrink``
+    tracer events from it).
+    """
+    current = term
+    steps = 0
+    checks = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in candidates(current):
+            if checks >= max_checks:
+                break
+            checks += 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:  # noqa: BLE001 — a crashing predicate ends the walk
+                failing = False
+            if failing:
+                current = candidate
+                steps += 1
+                if on_step is not None:
+                    on_step(candidate)
+                progress = True
+                break
+    return ShrinkResult(
+        term=current,
+        original_size=term_size(term),
+        final_size=term_size(current),
+        steps=steps,
+        checks=checks,
+    )
+
+
+def candidates(term: Term) -> Iterator[Term]:
+    """Strictly smaller closed variants of ``term``, deterministic order.
+
+    Smallest-first within each family, so the greedy loop takes the
+    biggest available jump (hoisted deep subterms come out of
+    :func:`_subterms` roughly inside-out).
+    """
+    size = term_size(term)
+    seen: set[str] = set()
+    hoisted = [
+        sub
+        for sub in _subterms(term)
+        if term_size(sub) < size and not free_vars(sub) - free_vars(term)
+    ]
+    hoisted.sort(key=term_size)
+    for sub in hoisted:
+        key = repr(sub)
+        if key not in seen:
+            seen.add(key)
+            yield sub
+    for variant in _rewrites(term):
+        if term_size(variant) >= size:
+            continue
+        if free_vars(variant) - free_vars(term):
+            continue
+        key = repr(variant)
+        if key not in seen:
+            seen.add(key)
+            yield variant
+
+
+def _subterms(term: Term) -> Iterator[Term]:
+    """Proper subterms, depth-first."""
+    for child in _children(term):
+        yield from _subterms(child)
+        yield child
+
+
+def _children(term: Term) -> tuple[Term, ...]:
+    if isinstance(term, App):
+        return (term.head, *term.args)
+    if isinstance(term, (Lam, AnnLam)):
+        return (term.body,)
+    if isinstance(term, Ann):
+        return (term.expr,)
+    if isinstance(term, Let):
+        return (term.bound, term.body)
+    if isinstance(term, Case):
+        return (term.scrutinee, *(alt.rhs for alt in term.alts))
+    return ()
+
+
+def _rewrites(term: Term) -> Iterator[Term]:
+    """One-node simplifications applied at every position, outside-in."""
+    yield from _local(term)
+    if isinstance(term, App):
+        for index, argument in enumerate(term.args):
+            for replacement in _rewrites(argument):
+                args = list(term.args)
+                args[index] = replacement
+                yield App(term.head, tuple(args))
+        for replacement in _rewrites(term.head):
+            yield App(replacement, term.args)
+    elif isinstance(term, Lam):
+        for replacement in _rewrites(term.body):
+            yield Lam(term.var, replacement)
+    elif isinstance(term, AnnLam):
+        for replacement in _rewrites(term.body):
+            yield AnnLam(term.var, term.annotation, replacement)
+    elif isinstance(term, Ann):
+        for replacement in _rewrites(term.expr):
+            yield Ann(replacement, term.annotation)
+    elif isinstance(term, Let):
+        for replacement in _rewrites(term.bound):
+            yield Let(term.var, replacement, term.body)
+        for replacement in _rewrites(term.body):
+            yield Let(term.var, term.bound, replacement)
+    elif isinstance(term, Case):
+        for replacement in _rewrites(term.scrutinee):
+            yield Case(replacement, term.alts)
+        for index, alt in enumerate(term.alts):
+            for replacement in _rewrites(alt.rhs):
+                alts = list(term.alts)
+                alts[index] = CaseAlt(alt.constructor, alt.binders, replacement)
+                yield Case(term.scrutinee, tuple(alts))
+
+
+def _local(term: Term) -> Iterator[Term]:
+    """Simplifications of the node itself."""
+    if isinstance(term, Ann):
+        yield term.expr
+    elif isinstance(term, AnnLam):
+        yield Lam(term.var, term.body)
+    elif isinstance(term, App):
+        if term.args:
+            yield term.head
+        for count in range(len(term.args) - 1, 0, -1):
+            yield App(term.head, term.args[:count])
+        for index in range(len(term.args)):
+            args = term.args[:index] + term.args[index + 1 :]
+            yield App(term.head, args) if args else term.head
+    elif isinstance(term, Let):
+        yield term.body
+        yield term.bound
+    elif isinstance(term, Lam):
+        yield term.body
+    elif isinstance(term, Case):
+        yield term.scrutinee
+        for alt in term.alts:
+            yield alt.rhs

@@ -48,6 +48,21 @@ class Lit(Term):
 
     value: object
 
+    # Python's ``True == 1`` (and ``hash(True) == hash(1)``) would make
+    # the dataclass equality conflate ``Lit(True)`` with ``Lit(1)`` —
+    # two terms that infer to *different* types — poisoning any
+    # term-keyed cache or structural comparison (found by the
+    # conformance fuzzer).  Equality must observe the value's type.
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Lit)
+            and type(self.value) is type(other.value)
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((Lit, type(self.value).__name__, self.value))
+
     @property
     def type_(self) -> Type:
         if isinstance(self.value, bool):
@@ -254,8 +269,22 @@ def subst_type_vars_in_term(mapping, term: Term) -> Term:
             subst_type_vars_in_term(mapping, term.body),
         )
     if isinstance(term, Ann):
+        # A nested `forall` annotation re-binds its variables for the
+        # expression it annotates, shadowing the outer scoped variables —
+        # the same discipline subst_tvars applies to types (found by the
+        # conformance fuzzer: without this, the outer skolem leaks into
+        # open annotations under the inner quantifier).
+        from repro.core.types import Forall
+
+        inner_mapping = mapping
+        if isinstance(term.annotation, Forall) and term.annotation.binders:
+            inner_mapping = {
+                name: image
+                for name, image in mapping.items()
+                if name not in term.annotation.binders
+            }
         return Ann(
-            subst_type_vars_in_term(mapping, term.expr),
+            subst_type_vars_in_term(inner_mapping, term.expr),
             subst_tvars(mapping, term.annotation),
         )
     if isinstance(term, Let):

@@ -264,12 +264,23 @@ def _parse_contained(source: str):
 
 
 def read_batch_file(path: str) -> list[str]:
-    """Read a batch file: one expression per line.
+    """Read a batch file — or a directory of ``.gi`` files — into sources.
 
     Blank lines and ``--`` comment lines are skipped; there is no
-    multi-line expression syntax.
+    multi-line expression syntax.  A directory is read as every ``*.gi``
+    file under it, sorted by name — the format the conformance fuzzer's
+    counterexample corpus uses, so minimized counterexamples flow
+    through the same diagnostics/JSON pipeline as any batch input.
     """
-    sources: list[str] = []
+    from pathlib import Path
+
+    target = Path(path)
+    if target.is_dir():
+        sources: list[str] = []
+        for entry in sorted(target.glob("*.gi")):
+            sources.extend(read_batch_file(str(entry)))
+        return sources
+    sources = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             stripped = line.strip()

@@ -1,0 +1,10 @@
+-- oracle: metamorphic:annotate
+-- seed: 42
+-- case: 302
+-- mode: well-typed
+-- fixed-by: subst_type_vars_in_term shadowing under nested forall annotations
+-- detail: an inner `forall a` annotation must shadow an outer scoped `a`
+-- detail: for the expression it annotates; before the fix the outer skolem
+-- detail: leaked into the open annotation `(id :: a -> a)` and re-annotating
+-- detail: the term with its own inferred type failed with a skolem clash.
+(((id :: a -> a) :: forall a. a -> a) :: forall a. a -> a)

@@ -1,0 +1,10 @@
+-- oracle: systemf
+-- seed: 42
+-- case: 115
+-- mode: arbitrary
+-- fixed-by: type-aware Lit equality (Lit(True) == Lit(1) under Python's True == 1)
+-- detail: any term-keyed cache that had seen `1` would hand its Int result
+-- detail: to `True` (and vice versa), so the elaborated System F term for
+-- detail: `True` erased and evaluated to 1. The battery asserts the source
+-- detail: and the erased elaboration still evaluate to the same value.
+True

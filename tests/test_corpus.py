@@ -1,0 +1,45 @@
+"""The counterexample corpus is a permanent regression suite: every
+``.gi`` file under ``tests/corpus/`` re-runs the full oracle battery on
+every test run, so a divergence the fuzzer once found can never silently
+come back.  Files are written by ``repro fuzz --corpus`` (or by hand
+when a fix lands) in the ``repro batch``-compatible format."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance import OracleContext, load_corpus, run_battery
+from repro.evalsuite.figure2 import figure2_env
+from repro.robustness import read_batch_file
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_exists_and_loads():
+    assert CORPUS_DIR.is_dir()
+    assert ENTRIES, "the checked-in corpus must not be empty"
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.path.stem for entry in ENTRIES]
+)
+def test_corpus_case_passes_full_battery(entry):
+    """The once-failing, now-fixed counterexample passes every oracle."""
+    ctx = OracleContext(figure2_env())
+    violation = run_battery(ctx, entry.term)
+    assert violation is None, f"{entry.path.name}: {violation}"
+
+
+def test_corpus_replays_through_batch_pipeline():
+    """``repro batch tests/corpus`` sees exactly the corpus expressions."""
+    sources = read_batch_file(str(CORPUS_DIR))
+    assert sources == [entry.source for entry in ENTRIES]
+
+
+def test_corpus_files_record_their_oracle():
+    for entry in ENTRIES:
+        assert "oracle" in entry.metadata, entry.path.name
