@@ -119,7 +119,7 @@ class HMInferencer:
         type_ = self.zonk(type_)
         env_vars: set[UVar] = set()
         for env_type in env_types:
-            env_vars |= fuv(self.zonk(env_type))
+            env_vars.update(fuv(self.zonk(env_type)))
         free = [variable for variable in _ordered_vars(type_) if variable not in env_vars]
         names = []
         used = ftv(type_)

@@ -208,7 +208,7 @@ class HMFInferencer:
         type_ = self.zonk(type_)
         env_vars: set[UVar] = set()
         for env_type in env_types:
-            env_vars |= fuv(self.zonk(env_type))
+            env_vars.update(fuv(self.zonk(env_type)))
         free = [v for v in _ordered_vars(type_) if v not in env_vars]
         names: list[str] = []
         used = set(ftv(type_))

@@ -179,9 +179,9 @@ class RankNInferencer:
         """Unification variables visible outside a skolemisation scope."""
         reachable: set[UVar] = set()
         for type_ in (local or {}).values():
-            reachable |= fuv(self.zonk(type_))
+            reachable.update(fuv(self.zonk(type_)))
         for type_ in types:
-            reachable |= fuv(self.zonk(type_))
+            reachable.update(fuv(self.zonk(type_)))
         return reachable
 
     def _check_escape(self, skolems: list[str], outer: set[UVar]) -> None:
@@ -213,7 +213,7 @@ class RankNInferencer:
         rho = self.zonk(rho)
         env_vars: set[UVar] = set()
         for type_ in local.values():
-            env_vars |= fuv(self.zonk(type_))
+            env_vars.update(fuv(self.zonk(type_)))
         free = [v for v in _ordered_vars(rho) if v not in env_vars]
         names: list[str] = []
         used = set(ftv(rho))
@@ -305,7 +305,7 @@ class RankNInferencer:
         # (not through a unification variable) also escapes.
         env_free: set[str] = set()
         for type_ in local.values():
-            env_free |= ftv(self.zonk(type_))
+            env_free.update(ftv(self.zonk(type_)))
         leaked = set(skolems) & env_free
         if leaked:
             raise SkolemEscapeError(sorted(leaked)[0])

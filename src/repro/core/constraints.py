@@ -161,22 +161,22 @@ def constraints_fuv(constraints: Iterable[Constraint]) -> set[UVar]:
 
 def _collect(constraint: Constraint, out: set[UVar]) -> None:
     if isinstance(constraint, Eq):
-        out |= fuv(constraint.left)
-        out |= fuv(constraint.right)
+        out.update(fuv(constraint.left))
+        out.update(fuv(constraint.right))
     elif isinstance(constraint, Inst):
-        out |= fuv(constraint.lhs)
+        out.update(fuv(constraint.lhs))
         for argument in constraint.args:
-            out |= fuv(argument)
-        out |= fuv(constraint.result)
+            out.update(fuv(argument))
+        out.update(fuv(constraint.result))
     elif isinstance(constraint, Gen):
-        out |= fuv(constraint.scheme.type_)
-        out |= fuv(constraint.rhs)
+        out.update(fuv(constraint.scheme.type_))
+        out.update(fuv(constraint.rhs))
         out |= set(constraint.scheme.captured)
         for inner in constraint.scheme.constraints:
             _collect(inner, out)
     elif isinstance(constraint, ClassC):
         for argument in constraint.args:
-            out |= fuv(argument)
+            out.update(fuv(argument))
     elif isinstance(constraint, Quant):
         out |= set(constraint.existentials)
         for given in constraint.givens:

@@ -95,14 +95,14 @@ class Environment:
         """Skolem variables free in any binding."""
         result: set[str] = set()
         for type_ in self._bindings.values():
-            result |= ftv(type_)
+            result.update(ftv(type_))
         return result
 
     def free_unification_vars(self) -> set[UVar]:
         """Unification variables free in any binding."""
         result: set[UVar] = set()
         for type_ in self._bindings.values():
-            result |= fuv(type_)
+            result.update(fuv(type_))
         return result
 
     def is_closed(self) -> bool:

@@ -272,12 +272,12 @@ class Inferencer:
         avoid = set(self.env.free_type_vars())
         supply = letters()
         for type_ in _evidence_types(evidence):
-            for variable in _ordered_fuv(solver.unifier.zonk(type_)):
+            for variable in fuv(solver.unifier.zonk(type_)):
                 for candidate in supply:
                     name = f"{candidate}0"
                     if name not in avoid:
                         avoid.add(name)
-                        solver.unifier.subst[variable] = TVar(name)
+                        solver.unifier.assign(variable, TVar(name))
                         break
 
     def _generalize(
@@ -298,10 +298,10 @@ class Inferencer:
                     return candidate
             raise RuntimeError("unreachable")
 
-        free = _ordered_fuv(zonked)
+        free = fuv(zonked)
         for predicate in residual_preds:
             for argument in predicate.args:
-                for variable in _ordered_fuv(argument):
+                for variable in fuv(argument):
                     if variable not in free:
                         # A constraint on a variable the type never
                         # mentions can never be discharged by any caller
@@ -316,7 +316,7 @@ class Inferencer:
         for variable in free:
             name = next_name()
             names.append(name)
-            solver.unifier.subst[variable] = TVar(name)
+            solver.unifier.assign(variable, TVar(name))
         body = solver.unifier.zonk(zonked)
         context = tuple(
             Pred(
@@ -362,29 +362,6 @@ def _evidence_types(evidence: EvidenceStore):
         yield from info.tycon_args
         for fields in info.field_types:
             yield from fields
-
-
-def _ordered_fuv(type_: Type) -> list[UVar]:
-    """Free unification variables in first-occurrence order."""
-    seen: list[UVar] = []
-
-    def go(node: Type) -> None:
-        from repro.core.types import Forall, TCon
-
-        if isinstance(node, UVar):
-            if node not in seen:
-                seen.append(node)
-        elif isinstance(node, TCon):
-            for argument in node.args:
-                go(argument)
-        elif isinstance(node, Forall):
-            for predicate in node.context:
-                for argument in predicate.args:
-                    go(argument)
-            go(node.body)
-
-    go(type_)
-    return seen
 
 
 def infer(

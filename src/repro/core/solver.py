@@ -24,6 +24,14 @@ is deferred and woken when that variable is substituted.  When the whole
 constraint set reaches a fixpoint with deferred constraints remaining, the
 blocking variables are *defaulted* to fully monomorphic fresh variables,
 one at a time — impredicativity is never guessed (Theorem 3.2).
+
+Deferred constraints are scheduled through a *variable-indexed wake-up
+queue*: each parked constraint registers watches on the unification
+variables that block it, and the unifier's ``on_bind`` hook re-queues it
+the moment one of them is solved.  The old behaviour — re-scanning the
+whole deferred list whenever any binding happened — is kept behind
+``wake_queue=False`` as a reference implementation for the equivalence
+property tests and the core benchmark.
 """
 
 from __future__ import annotations
@@ -92,6 +100,20 @@ class Scope:
         return result
 
 
+@dataclass
+class _Deferred:
+    """A parked constraint plus its scope and wake-up state.
+
+    ``woken`` flips once when the entry is re-queued (a constraint may
+    watch several variables; only the first binding re-queues it) and
+    marks the entry dead in ``Solver.deferred``.
+    """
+
+    constraint: Constraint
+    scope: Scope
+    woken: bool = False
+
+
 class Solver:
     """One solving run over a generated constraint set.
 
@@ -101,7 +123,9 @@ class Solver:
     hook.  ``defaulting=False`` disables the Section 4.3.2 defaulting of
     blocked unrestricted variables, so an underdetermined program fails
     deterministically with :class:`StuckConstraintError` instead of being
-    completed with guessed monomorphic types.
+    completed with guessed monomorphic types.  ``wake_queue=False``
+    selects the legacy whole-list re-scan scheduler (same answers, more
+    steps) kept for differential testing and benchmarking.
     """
 
     def __init__(
@@ -113,19 +137,25 @@ class Solver:
         faults: "FaultPlan | None" = None,
         defaulting: bool = True,
         tracer: "TracerLike | None" = None,
+        wake_queue: bool = True,
     ) -> None:
         self.unifier = Unifier(supply, budget=budget, faults=faults, tracer=tracer)
         self.evidence = evidence or EvidenceStore()
         self.instances = instances or InstanceEnv()
         self.queue: deque[tuple[Constraint, Scope]] = deque()
-        self.deferred: list[tuple[Constraint, Scope]] = []
+        self.deferred: list[_Deferred] = []
         self.root = Scope(0)
         self.budget = budget
         self.faults = faults
         self.tracer = tracer
         self.defaulting = defaulting
+        self.wake_queue = wake_queue
+        self._watches: dict[UVar, list[_Deferred]] = {}
         self.steps = 0
         """Constraints processed so far (the budget's fuel gauge)."""
+
+        self.wakeups = 0
+        """Deferred constraints re-queued by the variable wake-up hook."""
 
         self.current_level = 0
         """Scope depth of the constraint being processed (for snapshots)."""
@@ -139,30 +169,49 @@ class Solver:
         top level to quantify over).  Raises on any type error."""
         for constraint in constraints:
             self.queue.append((constraint, self.root))
-        while True:
-            self._drain()
-            if not self.deferred:
-                break
-            mark = self.unifier.bindings
-            self._requeue_deferred()
-            self._drain()
-            if self.unifier.bindings != mark:
-                continue
-            if self.defaulting and self._default_one():
-                continue
-            break
+        if self.wake_queue:
+            self.unifier.on_bind = self._wake
+        try:
+            if self.wake_queue:
+                # Bindings re-queue their watchers inside ``_drain``
+                # itself, so a drained queue with live deferred entries
+                # *is* the fixpoint — no progress mark, no re-scan.
+                while True:
+                    self._drain()
+                    self._compact_deferred()
+                    if not self.deferred:
+                        break
+                    if self.defaulting and self._default_one():
+                        continue
+                    break
+            else:
+                while True:
+                    self._drain()
+                    if not self.deferred:
+                        break
+                    mark = self.unifier.bindings
+                    self._requeue_deferred()
+                    self._drain()
+                    if self.unifier.bindings != mark:
+                        continue
+                    if self.defaulting and self._default_one():
+                        continue
+                    break
+        finally:
+            self.unifier.on_bind = None
+        live = [entry for entry in self.deferred if not entry.woken]
         residual_classes = [
-            (constraint, scope)
-            for constraint, scope in self.deferred
-            if isinstance(constraint, ClassC)
+            (entry.constraint, entry.scope)
+            for entry in live
+            if isinstance(entry.constraint, ClassC)
         ]
         if self.tracer is not None and self.tracer.enabled:
             for constraint, _ in residual_classes:
                 self.tracer.event("solver.residual", constraint=str(constraint))
         hard = [
-            constraint
-            for constraint, _ in self.deferred
-            if not isinstance(constraint, ClassC)
+            entry.constraint
+            for entry in live
+            if not isinstance(entry.constraint, ClassC)
         ]
         if hard:
             rendered = [self._zonk_constraint_for_report(c) for c in hard]
@@ -175,7 +224,9 @@ class Solver:
             self.steps += 1
             self.current_level = scope.level
             if self.budget is not None:
-                self.budget.check_solver_step(self.steps, constraint)
+                self.budget.check_solver_step(
+                    self.steps, constraint, wakeups=self.wakeups
+                )
             if self.faults is not None:
                 self.faults.solver_step(self.steps, constraint)
             if self.tracer is not None and self.tracer.enabled:
@@ -190,9 +241,54 @@ class Solver:
             self._step(constraint, scope)
 
     def _requeue_deferred(self) -> None:
-        pending = self.deferred
+        pending = [entry for entry in self.deferred if not entry.woken]
         self.deferred = []
-        self.queue.extend(pending)
+        self.queue.extend((entry.constraint, entry.scope) for entry in pending)
+
+    def _compact_deferred(self) -> None:
+        """Drop woken (dead) entries so the deferred list stays small."""
+        if any(entry.woken for entry in self.deferred):
+            self.deferred = [entry for entry in self.deferred if not entry.woken]
+
+    def _wake(self, variable: UVar) -> None:
+        """Unifier ``on_bind`` hook: re-queue the watchers of a variable
+        that just got solved (bound or united into another variable)."""
+        entries = self._watches.pop(variable, None)
+        if entries is None:
+            return
+        tracing = self.tracer is not None and self.tracer.enabled
+        for entry in entries:
+            if entry.woken:
+                continue
+            entry.woken = True
+            self.wakeups += 1
+            if tracing:
+                self.tracer.inc("solver.wakes")
+                self.tracer.event(
+                    "solver.wake",
+                    var=str(variable),
+                    constraint=str(entry.constraint),
+                )
+            self.queue.append((entry.constraint, entry.scope))
+
+    def _watch_vars(self, constraint: Constraint) -> list[UVar]:
+        """The unbound representatives whose solving could unblock the
+        constraint (the variables named in its deferral reason)."""
+        if isinstance(constraint, Inst):
+            head = self.unifier.zonk_head(constraint.lhs)
+            return [head] if isinstance(head, UVar) else []
+        if isinstance(constraint, Gen):
+            head = self.unifier.zonk_head(constraint.rhs)
+            return [head] if isinstance(head, UVar) else []
+        if isinstance(constraint, ClassC):
+            watched: list[UVar] = []
+            for argument in constraint.args:
+                for variable in self.unifier.fuv_of(argument):
+                    root = self.unifier.zonk_head(variable)
+                    if isinstance(root, UVar) and root not in watched:
+                        watched.append(root)
+            return watched
+        return []
 
     def _default_one(self) -> bool:
         """Default the blocker of the oldest deferred constraint.
@@ -203,19 +299,23 @@ class Solver:
         but may still carry annotated polymorphism under a constructor.
         One variable at a time, since releasing a generalisation scheme
         can unblock — or polymorphically determine — other blockers."""
-        for constraint, scope in self.deferred:
-            blocker = self._blocking_var(constraint)
+        for entry in self.deferred:
+            if entry.woken:
+                continue
+            blocker = self._blocking_var(entry.constraint)
             if blocker is None:
                 continue
             demoted = self.unifier.fresh(Sort.T, blocker.level)
-            self.unifier.subst[blocker] = demoted
-            self.unifier.bindings += 1
             if self.tracer is not None and self.tracer.enabled:
                 self.tracer.inc("solver.defaults")
                 self.tracer.event(
                     "solver.default", var=str(blocker), demoted_to=str(demoted)
                 )
-            self._requeue_deferred()
+            # In wake mode the assignment fires the watch hook, which
+            # re-queues exactly the constraints blocked on the variable.
+            self.unifier.assign(blocker, demoted)
+            if not self.wake_queue:
+                self._requeue_deferred()
             return True
         return False
 
@@ -458,8 +558,7 @@ class Solver:
             current = self.unifier.zonk_head(captured)
             if isinstance(current, UVar):
                 refreshed = self.unifier.fresh(current.sort, scope.level)
-                self.unifier.subst[current] = refreshed
-                self.unifier.bindings += 1
+                self.unifier.assign(current, refreshed)
         for inner_constraint in scheme.constraints:
             self.queue.append((inner_constraint, scope))
         evidence = None
@@ -491,8 +590,7 @@ class Solver:
             current = self.unifier.zonk_head(existential)
             if isinstance(current, UVar) and current.level < inner.level:
                 refreshed = self.unifier.fresh(current.sort, inner.level)
-                self.unifier.subst[current] = refreshed
-                self.unifier.bindings += 1
+                self.unifier.assign(current, refreshed)
         for given in constraint.givens:
             if isinstance(given, ClassC):
                 inner.class_givens.append(given)
@@ -567,7 +665,11 @@ class Solver:
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.inc("solver.deferrals")
             self.tracer.event("solver.defer", constraint=str(constraint), reason=reason)
-        self.deferred.append((constraint, scope))
+        entry = _Deferred(constraint, scope)
+        self.deferred.append(entry)
+        if self.wake_queue:
+            for variable in self._watch_vars(constraint):
+                self._watches.setdefault(variable, []).append(entry)
 
 
 class InstanceEnv:

@@ -20,8 +20,9 @@ promotion (rule float of Figure 10) and skolem-escape checking.  Skolem
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Generic, Iterable, Iterator, Mapping, Sequence, TypeVar
 
 from repro.core.names import letters
 from repro.core.sorts import Sort
@@ -30,23 +31,90 @@ ARROW = "->"
 LIST_CON = "[]"
 TOP_LEVEL = 0
 
+_T = TypeVar("_T")
 
-@dataclass(frozen=True)
+
+class OrderedSet(AbstractSet, Generic[_T]):
+    """A set that iterates in insertion order.
+
+    Free-variable collectors return these so that any code iterating the
+    result (promotion, demotion, generalisation) behaves identically in
+    every process, independent of ``PYTHONHASHSEED``.  The ``Set`` mixin
+    supplies comparisons and the boolean operators, all interoperable
+    with built-in sets (``ftv(t) == {"a"}``, ``{"a"} | ftv(t)``), and
+    ``_from_iterable`` keeps derived sets insertion-ordered too.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, iterable: Iterable[_T] = ()) -> None:
+        self._items: dict[_T, None] = dict.fromkeys(iterable)
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable[_T]) -> "OrderedSet[_T]":
+        return cls(iterable)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[_T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, item: _T) -> None:
+        self._items[item] = None
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"OrderedSet({list(self._items)!r})"
+
+
+@dataclass(frozen=True, eq=False)
 class Type:
-    """Base class of all type forms."""
+    """Base class of all type forms.
+
+    Equality and hashing are structural but *iterative* (a recursive
+    ``__eq__`` would overflow the interpreter stack on deep types long
+    before any budget check fires), and hashes are cached on the node, so
+    repeated hashing of a shared subtree is O(1).
+    """
 
     def __str__(self) -> str:
         return render_type(self)
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if self.__class__ is not other.__class__:
+            return NotImplemented
+        return _types_equal(self, other)  # type: ignore[arg-type]
 
-@dataclass(frozen=True)
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is not None:
+            return cached
+        return _hash_type(self)
+
+
+@dataclass(frozen=True, eq=False)
 class TVar(Type):
     """A skolem / rigid type variable, or a ``Forall``-bound occurrence."""
 
     name: str
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not TVar:
+            return NotImplemented
+        return self.name == other.name
 
-@dataclass(frozen=True)
+    def __hash__(self) -> int:
+        return hash(("TVar", self.name))
+
+
+@dataclass(frozen=True, eq=False)
 class UVar(Type):
     """A unification variable ``α^s`` with its sort and scope level.
 
@@ -64,8 +132,22 @@ class UVar(Type):
     def __str__(self) -> str:
         return f"{self.name}^{self.sort.symbol}"
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not UVar:
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.sort is other.sort
+            and self.level == other.level
+        )
 
-@dataclass(frozen=True)
+    def __hash__(self) -> int:
+        return hash(("UVar", self.name, self.sort, self.level))
+
+
+@dataclass(frozen=True, eq=False)
 class TCon(Type):
     """A saturated type-constructor application ``T σ1 ... σn``."""
 
@@ -77,7 +159,7 @@ class TCon(Type):
             object.__setattr__(self, "args", tuple(self.args))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Forall(Type):
     """A polymorphic type ``∀ a1 ... an. Q ⇒ µ`` (Figure 3 / Figure 13).
 
@@ -115,6 +197,112 @@ class Pred:
     def __str__(self) -> str:
         rendered = " ".join(render_type(argument, 3) for argument in self.args)
         return f"{self.class_name} {rendered}"
+
+
+def _composite_children(node: Type) -> Iterator[Type]:
+    """Direct sub-*types* of a composite node (context args before body)."""
+    if isinstance(node, TCon):
+        yield from node.args
+    elif isinstance(node, Forall):
+        for predicate in node.context:
+            yield from predicate.args
+        yield node.body
+
+
+def _hash_type(root: Type) -> int:
+    """Compute (and cache) the structural hash of ``root`` iteratively."""
+    stack = [root]
+    while stack:
+        node = stack[-1]
+        if "_hash" in node.__dict__ or not isinstance(node, (TCon, Forall)):
+            stack.pop()
+            continue
+        pending = [
+            child
+            for child in _composite_children(node)
+            if isinstance(child, (TCon, Forall)) and "_hash" not in child.__dict__
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if isinstance(node, TCon):
+            value = hash(("TCon", node.name, tuple(map(hash, node.args))))
+        else:
+            context_key = tuple(
+                (predicate.class_name, tuple(map(hash, predicate.args)))
+                for predicate in node.context
+            )
+            value = hash(("Forall", node.binders, context_key, hash(node.body)))
+        object.__setattr__(node, "_hash", value)
+    cached = root.__dict__.get("_hash")
+    return cached if cached is not None else hash(root)
+
+
+def _types_equal(left: Type, right: Type) -> bool:
+    """Structural equality without recursion (same classes assumed at the
+    root; checked per node below)."""
+    stack = [(left, right)]
+    while stack:
+        l, r = stack.pop()
+        if l is r:
+            continue
+        if l.__class__ is not r.__class__:
+            return False
+        left_hash = l.__dict__.get("_hash")
+        if left_hash is not None:
+            right_hash = r.__dict__.get("_hash")
+            if right_hash is not None and left_hash != right_hash:
+                return False
+        if isinstance(l, TVar):
+            if l.name != r.name:
+                return False
+        elif isinstance(l, UVar):
+            if l.name != r.name or l.sort is not r.sort or l.level != r.level:
+                return False
+        elif isinstance(l, TCon):
+            if l.name != r.name or len(l.args) != len(r.args):
+                return False
+            stack.extend(zip(l.args, r.args))
+        elif isinstance(l, Forall):
+            if l.binders != r.binders or len(l.context) != len(r.context):
+                return False
+            for lp, rp in zip(l.context, r.context):
+                if lp.class_name != rp.class_name or len(lp.args) != len(rp.args):
+                    return False
+                stack.extend(zip(lp.args, rp.args))
+            stack.append((l.body, r.body))
+        else:
+            return False
+    return True
+
+
+class InternTable:
+    """Hash-consing table: structurally equal types share one node.
+
+    The unifier interns the types it rebuilds while zonking, so repeated
+    zonks of the same variable return the *identical* object and the
+    per-unifier free-variable caches hit on identity instead of paying a
+    structural comparison.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict[Type, Type] = {}
+
+    def intern(self, type_: Type) -> Type:
+        cached = self._table.get(type_)
+        if cached is not None:
+            return cached
+        self._table[type_] = type_
+        return type_
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def __len__(self) -> int:
+        return len(self._table)
 
 
 def forall(
@@ -204,46 +392,50 @@ def strip_forall(type_: Type) -> tuple[tuple[str, ...], Type]:
     return (), type_
 
 
-def ftv(type_: Type) -> set[str]:
-    """Free (skolem) type variables."""
-    result: set[str] = set()
-    _collect_ftv(type_, frozenset(), result)
+def ftv(type_: Type) -> OrderedSet[str]:
+    """Free (skolem) type variables, in first-occurrence pre-order.
+
+    The insertion order makes every iteration over the result (skolem
+    checks, generalisation) deterministic across processes regardless of
+    the hash seed; membership and the set operators behave like a set.
+    """
+    result: OrderedSet[str] = OrderedSet()
+    stack: list[tuple[Type, frozenset[str]]] = [(type_, frozenset())]
+    while stack:
+        node, bound = stack.pop()
+        if isinstance(node, TVar):
+            if node.name not in bound:
+                result.add(node.name)
+        elif isinstance(node, TCon):
+            for argument in reversed(node.args):
+                stack.append((argument, bound))
+        elif isinstance(node, Forall):
+            inner = bound | frozenset(node.binders) if node.binders else bound
+            stack.append((node.body, inner))
+            for predicate in reversed(node.context):
+                for argument in reversed(predicate.args):
+                    stack.append((argument, inner))
     return result
 
 
-def _collect_ftv(type_: Type, bound: frozenset[str], out: set[str]) -> None:
-    if isinstance(type_, TVar):
-        if type_.name not in bound:
-            out.add(type_.name)
-    elif isinstance(type_, TCon):
-        for argument in type_.args:
-            _collect_ftv(argument, bound, out)
-    elif isinstance(type_, Forall):
-        inner_bound = bound | set(type_.binders)
-        for predicate in type_.context:
-            for argument in predicate.args:
-                _collect_ftv(argument, inner_bound, out)
-        _collect_ftv(type_.body, inner_bound, out)
-
-
-def fuv(type_: Type) -> set[UVar]:
-    """Free unification variables (all unification variables are free)."""
-    result: set[UVar] = set()
-    _collect_fuv(type_, result)
+def fuv(type_: Type) -> OrderedSet[UVar]:
+    """Free unification variables, in first-occurrence pre-order (all
+    unification variables are free; binders only ever bind skolems)."""
+    result: OrderedSet[UVar] = OrderedSet()
+    stack: list[Type] = [type_]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, UVar):
+            result.add(node)
+        elif isinstance(node, TCon):
+            for argument in reversed(node.args):
+                stack.append(argument)
+        elif isinstance(node, Forall):
+            stack.append(node.body)
+            for predicate in reversed(node.context):
+                for argument in reversed(predicate.args):
+                    stack.append(argument)
     return result
-
-
-def _collect_fuv(type_: Type, out: set[UVar]) -> None:
-    if isinstance(type_, UVar):
-        out.add(type_)
-    elif isinstance(type_, TCon):
-        for argument in type_.args:
-            _collect_fuv(argument, out)
-    elif isinstance(type_, Forall):
-        for predicate in type_.context:
-            for argument in predicate.args:
-                _collect_fuv(argument, out)
-        _collect_fuv(type_.body, out)
 
 
 def subst_tvars(mapping: Mapping[str, Type], type_: Type) -> Type:
@@ -305,29 +497,72 @@ def _fresh_tvar_name(base: str, avoid: set[str]) -> str:
     return f"{base}{index}"
 
 
+def _rebuild_uvars(function: Callable[[UVar], Type], type_: Type) -> Type:
+    """Iterative post-order rebuild replacing every :class:`UVar` via
+    ``function``; unchanged subtrees are returned identically (no fresh
+    allocation), so a no-op substitution is cheap and preserves sharing."""
+    results: list[Type] = []
+    stack: list[tuple[Type, bool]] = [(type_, False)]
+    while stack:
+        node, ready = stack.pop()
+        if not ready:
+            if isinstance(node, UVar):
+                results.append(function(node))
+            elif isinstance(node, TVar):
+                results.append(node)
+            elif isinstance(node, TCon):
+                stack.append((node, True))
+                for argument in reversed(node.args):
+                    stack.append((argument, False))
+            elif isinstance(node, Forall):
+                stack.append((node, True))
+                stack.append((node.body, False))
+                for predicate in reversed(node.context):
+                    for argument in reversed(predicate.args):
+                        stack.append((argument, False))
+            else:
+                raise TypeError(f"unknown type node: {node!r}")
+        elif isinstance(node, TCon):
+            count = len(node.args)
+            if count:
+                args = tuple(results[-count:])
+                del results[-count:]
+                if all(a is b for a, b in zip(args, node.args)):
+                    results.append(node)
+                else:
+                    results.append(TCon(node.name, args))
+            else:
+                results.append(node)
+        else:  # Forall
+            body = results.pop()
+            count = sum(len(predicate.args) for predicate in node.context)
+            flat = results[-count:] if count else []
+            if count:
+                del results[-count:]
+            changed = body is not node.body
+            context: list[Pred] = []
+            index = 0
+            for predicate in node.context:
+                width = len(predicate.args)
+                new_args = tuple(flat[index : index + width])
+                index += width
+                if all(a is b for a, b in zip(new_args, predicate.args)):
+                    context.append(predicate)
+                else:
+                    context.append(Pred(predicate.class_name, new_args))
+                    changed = True
+            if changed:
+                results.append(Forall(node.binders, body, tuple(context)))
+            else:
+                results.append(node)
+    return results[0]
+
+
 def subst_uvars(mapping: Mapping[UVar, Type], type_: Type) -> Type:
     """Substitution of unification variables (zonking one step)."""
     if not mapping:
         return type_
-    if isinstance(type_, UVar):
-        return mapping.get(type_, type_)
-    if isinstance(type_, TVar):
-        return type_
-    if isinstance(type_, TCon):
-        return TCon(type_.name, tuple(subst_uvars(mapping, a) for a in type_.args))
-    if isinstance(type_, Forall):
-        return Forall(
-            type_.binders,
-            subst_uvars(mapping, type_.body),
-            tuple(
-                Pred(
-                    predicate.class_name,
-                    tuple(subst_uvars(mapping, argument) for argument in predicate.args),
-                )
-                for predicate in type_.context
-            ),
-        )
-    raise TypeError(f"unknown type node: {type_!r}")
+    return _rebuild_uvars(lambda variable: mapping.get(variable, variable), type_)
 
 
 def respects(type_: Type, sort: Sort) -> bool:
@@ -390,54 +625,59 @@ def alpha_equal(left: Type, right: Type) -> bool:
     alpha-equal to ``∀b a. a -> b -> b`` (Section 2.4 of the paper);
     alpha-equality only ignores the names of binders, not their order.
     """
-    return _alpha_equal(left, right, {}, {}, [0])
-
-
-def _alpha_equal(
-    left: Type,
-    right: Type,
-    left_env: dict[str, int],
-    right_env: dict[str, int],
-    counter: list[int],
-) -> bool:
-    if isinstance(left, TVar) and isinstance(right, TVar):
-        left_index = left_env.get(left.name)
-        right_index = right_env.get(right.name)
-        if left_index is None and right_index is None:
-            return left.name == right.name
-        return left_index is not None and left_index == right_index
-    if isinstance(left, UVar) and isinstance(right, UVar):
-        return left == right
-    if isinstance(left, TCon) and isinstance(right, TCon):
-        if left.name != right.name or len(left.args) != len(right.args):
-            return False
-        return all(
-            _alpha_equal(l, r, left_env, right_env, counter)
-            for l, r in zip(left.args, right.args)
-        )
-    if isinstance(left, Forall) and isinstance(right, Forall):
-        if len(left.binders) != len(right.binders):
-            return False
-        if len(left.context) != len(right.context):
-            return False
-        left_env = dict(left_env)
-        right_env = dict(right_env)
-        for left_name, right_name in zip(left.binders, right.binders):
-            counter[0] += 1
-            left_env[left_name] = counter[0]
-            right_env[right_name] = counter[0]
-        for left_pred, right_pred in zip(left.context, right.context):
-            if left_pred.class_name != right_pred.class_name:
+    counter = 0
+    # Explicit stack (no recursion): frames carry the binder environments
+    # in scope at that node, extended by copy at each quantifier.
+    stack: list[tuple[Type, Type, dict[str, int], dict[str, int]]] = [
+        (left, right, {}, {})
+    ]
+    while stack:
+        left, right, left_env, right_env = stack.pop()
+        if isinstance(left, TVar) and isinstance(right, TVar):
+            left_index = left_env.get(left.name)
+            right_index = right_env.get(right.name)
+            if left_index is None and right_index is None:
+                if left.name != right.name:
+                    return False
+                continue
+            if left_index is None or left_index != right_index:
                 return False
-            if len(left_pred.args) != len(right_pred.args):
+            continue
+        if isinstance(left, UVar) and isinstance(right, UVar):
+            if left != right:
                 return False
-            if not all(
-                _alpha_equal(l, r, left_env, right_env, counter)
-                for l, r in zip(left_pred.args, right_pred.args)
+            continue
+        if isinstance(left, TCon) and isinstance(right, TCon):
+            if left.name != right.name or len(left.args) != len(right.args):
+                return False
+            for l, r in zip(reversed(left.args), reversed(right.args)):
+                stack.append((l, r, left_env, right_env))
+            continue
+        if isinstance(left, Forall) and isinstance(right, Forall):
+            if len(left.binders) != len(right.binders):
+                return False
+            if len(left.context) != len(right.context):
+                return False
+            left_env = dict(left_env)
+            right_env = dict(right_env)
+            for left_name, right_name in zip(left.binders, right.binders):
+                counter += 1
+                left_env[left_name] = counter
+                right_env[right_name] = counter
+            for left_pred, right_pred in zip(left.context, right.context):
+                if left_pred.class_name != right_pred.class_name:
+                    return False
+                if len(left_pred.args) != len(right_pred.args):
+                    return False
+            stack.append((left.body, right.body, left_env, right_env))
+            for left_pred, right_pred in zip(
+                reversed(left.context), reversed(right.context)
             ):
-                return False
-        return _alpha_equal(left.body, right.body, left_env, right_env, counter)
-    return False
+                for l, r in zip(reversed(left_pred.args), reversed(right_pred.args)):
+                    stack.append((l, r, left_env, right_env))
+            continue
+        return False
+    return True
 
 
 def rename_canonical(type_: Type) -> Type:
@@ -499,19 +739,19 @@ def type_size(type_: Type) -> int:
 
 
 def contains_uvar(type_: Type, variable: UVar) -> bool:
-    """Occurs check helper."""
-    if isinstance(type_, UVar):
-        return type_ == variable
-    if isinstance(type_, TCon):
-        return any(contains_uvar(argument, variable) for argument in type_.args)
-    if isinstance(type_, Forall):
-        if any(
-            contains_uvar(argument, variable)
-            for predicate in type_.context
-            for argument in predicate.args
-        ):
-            return True
-        return contains_uvar(type_.body, variable)
+    """Occurs check helper (iterative — deep types must not overflow)."""
+    stack: list[Type] = [type_]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, UVar):
+            if node == variable:
+                return True
+        elif isinstance(node, TCon):
+            stack.extend(node.args)
+        elif isinstance(node, Forall):
+            stack.append(node.body)
+            for predicate in node.context:
+                stack.extend(predicate.args)
     return False
 
 
@@ -527,25 +767,7 @@ def walk(type_: Type) -> Iterator[Type]:
 
 def map_uvars(function: Callable[[UVar], Type], type_: Type) -> Type:
     """Rebuild the type, replacing every unification variable via ``function``."""
-    if isinstance(type_, UVar):
-        return function(type_)
-    if isinstance(type_, TVar):
-        return type_
-    if isinstance(type_, TCon):
-        return TCon(type_.name, tuple(map_uvars(function, a) for a in type_.args))
-    if isinstance(type_, Forall):
-        return Forall(
-            type_.binders,
-            map_uvars(function, type_.body),
-            tuple(
-                Pred(
-                    predicate.class_name,
-                    tuple(map_uvars(function, argument) for argument in predicate.args),
-                )
-                for predicate in type_.context
-            ),
-        )
-    raise TypeError(f"unknown type node: {type_!r}")
+    return _rebuild_uvars(function, type_)
 
 
 def render_type(type_: Type, precedence: int = 0) -> str:
@@ -567,9 +789,15 @@ def render_type(type_: Type, precedence: int = 0) -> str:
         return f"({rendered})" if precedence > 0 else rendered
     if isinstance(type_, TCon):
         if type_.name == ARROW and len(type_.args) == 2:
-            left = render_type(type_.args[0], 2)
-            right = render_type(type_.args[1], 1)
-            rendered = f"{left} -> {right}"
+            # Flatten the right spine so an n-ary function type costs n
+            # stack frames fewer — ``a -> (b -> c)`` renders as one run.
+            parts: list[str] = []
+            node: Type = type_
+            while isinstance(node, TCon) and node.name == ARROW and len(node.args) == 2:
+                parts.append(render_type(node.args[0], 2))
+                node = node.args[1]
+            parts.append(render_type(node, 1))
+            rendered = " -> ".join(parts)
             return f"({rendered})" if precedence > 1 else rendered
         if type_.name == LIST_CON and len(type_.args) == 1:
             return f"[{render_type(type_.args[0], 0)}]"

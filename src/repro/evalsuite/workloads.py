@@ -59,6 +59,61 @@ def impredicative_pipeline(depth: int) -> Term:
     return term
 
 
+def deep_chain_term(depth: int) -> Term:
+    """``λf. f 1 1 ... 1`` — one n-ary application whose result chain
+    builds a deeply right-nested arrow type, stressing zonk/fuv depth and
+    the occurs check on a single long spine."""
+    body: Term = Var("f")
+    for _ in range(depth):
+        body = app(body, Lit(1))
+    return Lam("f", body)
+
+
+def defaulting_fan(width: int) -> Term:
+    """``λh1 ... hM. pair (h1 0) (pair (h2 0) (... ))`` — every ``hi 0``
+    defers an instantiation constraint on a distinct guarded variable
+    until the enclosing lambda pins it down, producing a steady stream of
+    defer/wake cycles (two per binder) without ever getting stuck."""
+    body: Term = app(Var(f"h{width}"), Lit(0))
+    for index in range(width - 1, 0, -1):
+        body = app(Var("pair"), app(Var(f"h{index}"), Lit(0)), body)
+    term: Term = body
+    for index in range(width, 0, -1):
+        term = Lam(f"h{index}", term)
+    return term
+
+
+def gen_chain_constraints(length: int):
+    """A dependency chain of ``length`` deferred generalisation
+    constraints, for the solver scheduling benchmark.
+
+    The queue is ``[Gen_1, ..., Gen_N, u1 ~ Int]`` where ``Gen_i`` is
+    blocked on the unrestricted variable ``u_i`` and releasing it emits
+    ``u_{i+1} ~ Int`` — so exactly one deferred constraint becomes
+    runnable at a time, in queue order.  A re-scanning solver revisits
+    every still-blocked constraint per round (O(N²) pops); the
+    variable-indexed wake-up queue pops each constraint O(1) times.
+
+    Returns the constraint list; solve it with a fresh
+    :class:`~repro.core.solver.Solver`.
+    """
+    from repro.core.constraints import Eq, Gen, Scheme
+    from repro.core.sorts import Sort
+    from repro.core.types import TCon, UVar
+
+    int_ = TCon("Int", ())
+    blockers = [UVar(f"gc{index}", Sort.U) for index in range(length + 1)]
+    constraints = [
+        Gen(
+            Scheme((), (Eq(blockers[index + 1], int_),), int_),
+            blockers[index],
+        )
+        for index in range(length)
+    ]
+    constraints.append(Eq(blockers[0], int_))
+    return constraints
+
+
 def fuzz_corpus(count: int, seed: int = 0) -> list[Term]:
     """``count`` terms from the conformance generator's seeded sweep —
     the same deterministic case list ``repro fuzz`` checks, usable as a

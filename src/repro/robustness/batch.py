@@ -83,6 +83,11 @@ class BatchItem:
     type_: str | None = None
     diagnostic: Diagnostic | None = None
 
+    solver_steps: int | None = None
+    """Solver steps the successful run took — the scheduling-cost signal
+    the core benchmarks compare across ``--jobs`` settings (``None`` when
+    inference never reached the solver)."""
+
     @property
     def ok(self) -> bool:
         return self.diagnostic is None
@@ -93,6 +98,7 @@ class BatchItem:
             "source": self.source,
             "ok": self.ok,
             "type": self.type_,
+            "solver_steps": self.solver_steps,
             "diagnostic": self.diagnostic.to_dict() if self.diagnostic else None,
         }
 
@@ -232,7 +238,9 @@ def _check_one(
     item = BatchItem(index=index, source=source)
     try:
         term = _parse_contained(source)
-        item.type_ = str(inferencer.infer(term).type_)
+        result = inferencer.infer(term)
+        item.type_ = str(result.type_)
+        item.solver_steps = result.solver.steps
     except GIError as error:
         severity = SEVERITY_INTERNAL if isinstance(error, InternalError) else SEVERITY_ERROR
         phase = getattr(error, "phase", None)

@@ -50,6 +50,10 @@ class Budget:
     solver_steps: int = field(default=0, init=False)
     """Steps the current run has used (updated by :meth:`check_solver_step`)."""
 
+    solver_wakeups: int = field(default=0, init=False)
+    """Deferred-constraint wake-ups the current run has performed (the
+    scheduling work the wake-up queue does instead of full re-scans)."""
+
     peak_unify_depth: int = field(default=0, init=False)
     """Deepest unifier recursion seen in the current run."""
 
@@ -59,6 +63,7 @@ class Budget:
     def start(self) -> "Budget":
         """Reset the run counters and arm the wall-clock deadline."""
         self.solver_steps = 0
+        self.solver_wakeups = 0
         self.peak_unify_depth = 0
         self._started_at = time.monotonic()
         self._deadline_at = (
@@ -70,9 +75,10 @@ class Budget:
     # Checks (called by the solver / unifier with their own counters)
     # ------------------------------------------------------------------
 
-    def check_solver_step(self, steps: int, constraint=None) -> None:
+    def check_solver_step(self, steps: int, constraint=None, wakeups: int = 0) -> None:
         """Record ``steps`` and raise if the step or time budget is gone."""
         self.solver_steps = steps
+        self.solver_wakeups = wakeups
         if (
             self.tracer is not None
             and self.tracer.enabled
@@ -143,6 +149,7 @@ class Budget:
         )
         return {
             "solver_steps": self.solver_steps,
+            "solver_wakeups": self.solver_wakeups,
             "peak_unify_depth": self.peak_unify_depth,
             "elapsed_seconds": elapsed,
         }

@@ -234,3 +234,84 @@ class TestZonk:
     @given(polytypes())
     def test_zonk_empty_subst_is_identity(self, type_):
         assert Unifier().zonk(type_) == type_
+
+
+class TestUnionFind:
+    """The union-find substitution store behind the ``zonk``/``bind`` API."""
+
+    def test_long_chain_compresses(self):
+        unifier = Unifier()
+        chain = [uvar(f"c{index}", Sort.M) for index in range(200)]
+        for left, right in zip(chain, chain[1:]):
+            unifier.unify(left, right)
+        unifier.unify(chain[-1], INT)
+        for variable in chain:
+            assert unifier.zonk(variable) == INT
+        # After one pass of queries every variable points (almost)
+        # directly at its representative: re-resolving is flat.
+        root = unifier._find(chain[0])
+        assert all(unifier._find(v) == root for v in chain)
+
+    def test_bindings_never_map_to_variables(self):
+        # The var-var invariant: unions go through the parent table, so
+        # no binding image is itself a unification variable.
+        unifier = Unifier()
+        a, b, c = uvar("a1"), uvar("b1"), uvar("c1")
+        unifier.unify(a, b)
+        unifier.unify(b, c)
+        unifier.unify(a, list_of(INT))
+        assert all(
+            not isinstance(image, UVar) for image in unifier._binding.values()
+        )
+
+    def test_substitution_view_reports_all_entries(self):
+        unifier = Unifier()
+        a, b = uvar("a1"), uvar("b1")
+        unifier.unify(a, b)
+        unifier.unify(b, INT)
+        assert len(unifier.subst) == 2
+        # Entries keep the seed's link-at-a-time shape: ``a`` maps to its
+        # representative, the representative to the bound type.
+        assert a in unifier.subst and unifier.subst[b] == INT
+        assert unifier.zonk(unifier.subst[a]) == INT
+
+    def test_assign_unions_variables(self):
+        unifier = Unifier()
+        a, b = uvar("a1"), uvar("b1")
+        unifier.assign(a, b)
+        unifier.assign(b, INT)
+        assert unifier.zonk(a) == INT
+
+    def test_fuv_cache_consistent_after_binding(self):
+        unifier = Unifier()
+        a = uvar("a1")
+        type_ = fun(a, list_of(a))
+        assert list(unifier.fuv_of(type_)) == [a]
+        unifier.unify(a, INT)
+        # The cache keys on the *unzonked* node; zonking reflects the bind.
+        assert fuv(unifier.zonk(type_)) == set()
+
+
+class TestSkolemBookkeeping:
+    def test_skolem_levels_do_not_leak_across_forall_unifications(self):
+        # Regression: ``_unify_forall`` used to register the fresh
+        # skolems of every quantifier unification in ``skolem_levels``
+        # and never remove them, so a long-lived unifier grew without
+        # bound (and stale entries could shadow later levels).
+        unifier = Unifier()
+        nested = forall(["a"], fun(A, forall(["b"], fun(B, A))))
+        baseline = len(unifier.skolem_levels)
+        for _ in range(50):
+            unifier.unify(nested, nested)
+        growth = len(unifier.skolem_levels) - baseline
+        assert growth == 0, growth
+
+    def test_skolem_levels_pruned_on_failure_too(self):
+        unifier = Unifier()
+        left = forall(["a"], fun(A, A))
+        right = forall(["a"], fun(A, INT))
+        baseline = len(unifier.skolem_levels)
+        for _ in range(20):
+            with pytest.raises(UnificationError):
+                unifier.unify(left, right)
+        assert len(unifier.skolem_levels) == baseline
