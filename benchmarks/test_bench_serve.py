@@ -1,0 +1,130 @@
+"""Serving latency and throughput under concurrent clients.
+
+One daemon, three offered-load levels (1 / 8 / 64 clients), well-typed
+traffic only — the numbers here are about the *serving* overhead
+(protocol, admission, executor hop), not the solver.  A second section
+round-trips a ~bindings-deep module through the server twice in one
+session, measuring the cold check against the warm (fully cached)
+re-check — the session-cache reuse story, end to end through the wire.
+
+Results land in ``BENCH_serve.json`` at the repo root (p50/p95/p99 and
+requests/second per client level).  Set ``REPRO_BENCH_SMOKE=1`` for the
+CI-sized run; set ``REPRO_BENCH_BASELINE=<path>`` to additionally gate
+against a previous run's numbers (same-mode timings within 3x — CI
+machines vary — and exact served/sent accounting).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.evalsuite.modules_corpus import synthetic_module_source
+from repro.modules import parse_module
+from repro.robustness.loadgen import LoadConfig, run_load
+from repro.robustness.server import ServeConfig, start_server_in_thread
+from repro.robustness.serveclient import ServeClient
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CLIENT_LEVELS = (1, 4) if SMOKE else (1, 8, 64)
+REQUESTS_PER_CLIENT = 16 if SMOKE else 48
+CHAINS, DEPTH = (2, 10) if SMOKE else (4, 25)
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def test_bench_serve_scaling_and_cache(tmp_path):
+    sock = str(tmp_path / "bench.sock")
+    config = ServeConfig(
+        socket_path=sock,
+        jobs=4,
+        queue_limit=256,  # the bench measures latency, not shedding
+    )
+    payload = {
+        "benchmark": "serve",
+        "smoke": SMOKE,
+        "jobs": config.jobs,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "scaling": {},
+    }
+    with start_server_in_thread(config) as handle:
+        for clients in CLIENT_LEVELS:
+            report = run_load(
+                LoadConfig(
+                    socket_path=sock,
+                    clients=clients,
+                    requests=REQUESTS_PER_CLIENT,
+                    seed=clients,  # deterministic, distinct per level
+                    ill_rate=0.0,
+                    deep_rate=0.0,
+                )
+            )
+            assert report.violations == []
+            assert report.served == clients * REQUESTS_PER_CLIENT
+            latency = report.percentiles()
+            payload["scaling"][str(clients)] = {
+                "served": report.served,
+                "throughput_rps": round(report.throughput_rps, 1),
+                "p50_ms": latency["p50"],
+                "p95_ms": latency["p95"],
+                "p99_ms": latency["p99"],
+            }
+
+        # -- cold vs warm module round-trip through the server ----------
+        source = synthetic_module_source(chains=CHAINS, depth=DEPTH)
+        bindings = len(parse_module(source).bindings)
+        with ServeClient(socket_path=sock) as client:
+            started = time.perf_counter()
+            cold = client.request("module", source=source, stats=True)
+            cold_s = time.perf_counter() - started
+            assert cold["ok"] and cold["passed"] == bindings
+            assert cold["cached"] == 0
+
+            started = time.perf_counter()
+            warm = client.request("module", source=source, stats=True)
+            warm_s = time.perf_counter() - started
+            assert warm["ok"] and warm["cached"] == bindings
+
+        # The warm re-check does no inference; it must beat the cold
+        # check even through the full wire round-trip.
+        assert warm_s < cold_s, (warm_s, cold_s)
+        payload["module_roundtrip"] = {
+            "bindings": bindings,
+            "cold_seconds": round(cold_s, 6),
+            "warm_seconds": round(warm_s, 6),
+            "warm_cache_hits": warm["cached"],
+            "warm_speedup": round(cold_s / warm_s, 1) if warm_s else None,
+        }
+
+        # Nothing was shed or lost across the whole bench.
+        counts = handle.server.counts
+        assert counts["shed"] == 0 and counts["internal"] == 0
+
+    _compare_baseline(payload)
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _compare_baseline(payload: dict) -> None:
+    """Opt-in regression gate against a previous run's numbers."""
+    baseline_path = os.environ.get("REPRO_BENCH_BASELINE")
+    if not baseline_path:
+        return
+    baseline = json.loads(Path(baseline_path).read_text())
+    if payload["smoke"] != baseline["smoke"]:
+        return  # cross-mode sizes differ; only same-mode timings compare
+    for level, numbers in baseline["scaling"].items():
+        if level not in payload["scaling"]:
+            continue
+        current = payload["scaling"][level]
+        assert current["served"] == numbers["served"], level
+        if numbers["p50_ms"] > 0:
+            assert current["p50_ms"] / numbers["p50_ms"] <= 3.0, (
+                level,
+                current["p50_ms"],
+                numbers["p50_ms"],
+            )
+        if numbers["throughput_rps"] > 0:
+            assert current["throughput_rps"] / numbers["throughput_rps"] >= 1 / 3, (
+                level,
+                current["throughput_rps"],
+                numbers["throughput_rps"],
+            )

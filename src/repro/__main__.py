@@ -13,6 +13,8 @@ Subcommands::
     python -m repro figure2                   # regenerate the table
     python -m repro trace run.jsonl           # replay a recorded trace
     python -m repro repl                      # interactive loop
+    python -m repro serve --socket /tmp/gi.sock --jobs 4   # daemon
+    python -m repro loadgen --socket /tmp/gi.sock          # drive it
 
 ``infer``, ``batch``, ``module`` and ``fuzz`` accept the observability flags:
 ``--trace`` prints the span tree of the run, ``--trace FILE`` streams
@@ -190,6 +192,9 @@ def cmd_batch(
     seed: int | None = None,
     obs: _Obs | None = None,
 ) -> int:
+    import signal as signal_module
+    import threading
+
     from repro.robustness import Budget, check_batch, read_batch_file, render_text
 
     try:
@@ -202,6 +207,18 @@ def cmd_batch(
         max_unify_depth=max_depth,
         wall_clock=timeout,
     )
+    # SIGINT/SIGTERM request a *cooperative* stop: in-flight items finish,
+    # the rest are skipped, and the partial results are still emitted
+    # (JSON carries `"interrupted": true`; exit code is 130).
+    cancel = threading.Event()
+    previous_handlers: dict = {}
+    try:
+        for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+            previous_handlers[signum] = signal_module.signal(
+                signum, lambda *_args: cancel.set()
+            )
+    except ValueError:
+        previous_handlers = {}  # not the main thread (tests) — no handlers
     try:
         result = check_batch(
             sources,
@@ -210,13 +227,18 @@ def cmd_batch(
             jobs=jobs,
             seed=seed,
             tracer=obs.tracer if obs is not None else None,
+            cancel=cancel,
         )
         if as_json:
             print(json_module.dumps(result.to_dict(), indent=2))
         else:
             print(render_text(result))
+        if result.interrupted:
+            return 130
         return 0 if result.ok else 1
     finally:
+        for signum, handler in previous_handlers.items():
+            signal_module.signal(signum, handler)
         if obs is not None:
             obs.finish()
 
@@ -322,6 +344,87 @@ def cmd_fuzz(arguments, obs: _Obs | None = None) -> int:
     finally:
         if obs is not None:
             obs.finish()
+
+
+def cmd_serve(arguments) -> int:
+    import asyncio
+
+    from repro.robustness.server import GIServer, ServeConfig
+
+    if (arguments.socket is None) == (arguments.port is None):
+        print("error: exactly one of --socket / --port is required", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        socket_path=arguments.socket,
+        host=arguments.host,
+        port=arguments.port,
+        jobs=arguments.jobs,
+        queue_limit=arguments.queue_limit,
+        default_timeout_ms=arguments.default_timeout_ms,
+        max_timeout_ms=arguments.max_timeout_ms,
+        max_solver_steps=arguments.max_steps,
+        max_unify_depth=arguments.max_depth,
+        allow_faults=arguments.allow_faults,
+        drain_grace_s=arguments.drain_grace,
+        trace_path=arguments.trace,
+    )
+    server = GIServer(config)
+
+    def announce(started: GIServer) -> None:
+        print(
+            f"repro serve: listening on {started.address} "
+            f"(jobs={config.jobs}, queue={config.queue_limit})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(server.run(ready=announce))
+    except KeyboardInterrupt:
+        # Only reachable where the loop could not own SIGINT; the drain
+        # already ran via the signal handler on mainstream platforms.
+        return 130
+    except OSError as error:
+        print(f"error: cannot listen: {error}", file=sys.stderr)
+        return 2
+    counts = server.counts
+    print(
+        f"repro serve: drained ({server.exit_reason}) — "
+        f"{counts['total']} requests, {counts['internal']} contained crashes, "
+        f"{counts['shed']} shed",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_loadgen(arguments) -> int:
+    from repro.robustness.loadgen import LoadConfig, render_load_text, run_load
+
+    if (arguments.socket is None) == (arguments.port is None):
+        print("error: exactly one of --socket / --port is required", file=sys.stderr)
+        return 2
+    config = LoadConfig(
+        socket_path=arguments.socket,
+        host=arguments.host,
+        port=arguments.port,
+        clients=arguments.clients,
+        requests=arguments.requests,
+        seed=arguments.seed,
+        timeout_ms=arguments.timeout_ms,
+        fault_rate=arguments.fault_rate,
+        oversize_rate=arguments.oversize_rate,
+        disconnect_rate=arguments.disconnect_rate,
+    )
+    try:
+        report = run_load(config)
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach server: {error}", file=sys.stderr)
+        return 2
+    if arguments.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_load_text(report))
+    return 1 if report.violations else 0
 
 
 def cmd_trace(path: str, explain: bool, validate: bool) -> int:
@@ -636,6 +739,94 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="check every line against the trace event schema; exit 1 on errors",
     )
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running JSONL type-checking daemon (sessions, "
+        "backpressure, graceful drain)",
+    )
+    p_serve.add_argument("--socket", default=None, metavar="PATH", help="Unix socket")
+    p_serve.add_argument("--port", type=int, default=None, help="TCP port (0=ephemeral)")
+    p_serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    p_serve.add_argument("--jobs", type=int, default=2, help="inference worker threads")
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admitted-but-unfinished request bound; beyond it load is shed",
+    )
+    p_serve.add_argument(
+        "--default-timeout-ms",
+        type=int,
+        default=10_000,
+        help="per-request deadline when the client sends none",
+    )
+    p_serve.add_argument(
+        "--max-timeout-ms",
+        type=int,
+        default=30_000,
+        help="ceiling clamping any client-supplied timeout_ms",
+    )
+    p_serve.add_argument(
+        "--max-steps", type=int, default=1_000_000, help="solver step ceiling per request"
+    )
+    p_serve.add_argument(
+        "--max-depth",
+        type=int,
+        default=100_000,
+        help="unification depth ceiling per request",
+    )
+    p_serve.add_argument(
+        "--allow-faults",
+        action="store_true",
+        help="accept fault_step/fault_depth request fields (soak harness)",
+    )
+    p_serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        help="seconds a drain waits for in-flight work before cancelling",
+    )
+    p_serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="stream JSONL trace events here (flushed on drain)",
+    )
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a serve daemon with a seeded mixed workload",
+    )
+    p_loadgen.add_argument("--socket", default=None, metavar="PATH", help="Unix socket")
+    p_loadgen.add_argument("--port", type=int, default=None, help="TCP port")
+    p_loadgen.add_argument("--host", default="127.0.0.1", help="TCP host")
+    p_loadgen.add_argument("--clients", type=int, default=8)
+    p_loadgen.add_argument(
+        "--requests", type=int, default=50, help="requests per client"
+    )
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument("--timeout-ms", type=int, default=10_000)
+    p_loadgen.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="fraction of requests arming an injected fault "
+        "(server must run with --allow-faults)",
+    )
+    p_loadgen.add_argument(
+        "--oversize-rate",
+        type=float,
+        default=0.0,
+        help="fraction of requests exceeding the line ceiling",
+    )
+    p_loadgen.add_argument(
+        "--disconnect-rate",
+        type=float,
+        default=0.0,
+        help="fraction of requests abandoned mid-flight",
+    )
+    p_loadgen.add_argument(
+        "--json", action="store_true", help="emit the structured report"
+    )
     sub.add_parser("figure2", help="regenerate Figure 2")
     sub.add_parser("repl", help="interactive loop")
 
@@ -673,6 +864,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if arguments.command == "fuzz":
         return cmd_fuzz(arguments, obs=_Obs.from_args(arguments))
+    if arguments.command == "serve":
+        return cmd_serve(arguments)
+    if arguments.command == "loadgen":
+        return cmd_loadgen(arguments)
     if arguments.command == "trace":
         return cmd_trace(arguments.file, arguments.explain, arguments.validate)
     if arguments.command == "figure2":

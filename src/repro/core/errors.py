@@ -8,6 +8,15 @@ just on rejection itself.  All inherit from :class:`GIError`.
 from __future__ import annotations
 
 
+def _safe_str(value) -> str:
+    """``str(value)``, but a crash inside ``__str__`` yields a placeholder
+    instead of propagating (containment code formats arbitrary objects)."""
+    try:
+        return str(value)
+    except Exception:  # noqa: BLE001 — formatting must never raise
+        return f"<unprintable {type(value).__name__}>"
+
+
 class GIError(Exception):
     """Base class for every error raised by the library."""
 
@@ -214,11 +223,16 @@ class InternalError(GIError):
         self.original_class = type(original).__name__
         self.phase = phase
         self.snapshot = dict(snapshot or {})
-        detail = str(original) or "(no message)"
+        # The original exception (or a snapshot value) may itself refuse
+        # to format — a crash inside __str__ must not defeat containment,
+        # so every piece of the message is rendered defensively.
+        detail = _safe_str(original) or "(no message)"
         if len(detail) > 200:
             detail = detail[:200] + "…"
         rendered = {
-            key: value for key, value in self.snapshot.items() if key != "traceback"
+            key: _safe_str(value)
+            for key, value in self.snapshot.items()
+            if key != "traceback"
         }
         state = (
             " [" + ", ".join(f"{key}={value}" for key, value in rendered.items()) + "]"

@@ -115,6 +115,7 @@ class Inferencer:
         budget: "Budget | None" = None,
         faults: "FaultPlan | None" = None,
         tracer: "TracerLike | None" = None,
+        intern=None,
     ) -> None:
         self.env = env or Environment()
         self.instances = instances or InstanceEnv()
@@ -122,6 +123,10 @@ class Inferencer:
         self.budget = budget
         self.faults = faults
         self.tracer = tracer
+        self.intern = intern
+        """Optional shared :class:`~repro.core.types.InternTable` — the
+        serve daemon passes one table to every session so hash-consed
+        nodes for common types are allocated once per process."""
 
     def _span(self, name: str, **attrs):
         if self.tracer is not None and self.tracer.enabled:
@@ -175,6 +180,7 @@ class Inferencer:
                     faults=self.faults,
                     defaulting=self.options.defaulting,
                     tracer=self.tracer,
+                    intern=self.intern,
                 )
                 with self._span("solve", constraints=len(constraints)):
                     residual = solver.solve(list(constraints))

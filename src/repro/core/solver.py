@@ -138,8 +138,11 @@ class Solver:
         defaulting: bool = True,
         tracer: "TracerLike | None" = None,
         wake_queue: bool = True,
+        intern=None,
     ) -> None:
-        self.unifier = Unifier(supply, budget=budget, faults=faults, tracer=tracer)
+        self.unifier = Unifier(
+            supply, budget=budget, faults=faults, tracer=tracer, intern=intern
+        )
         self.evidence = evidence or EvidenceStore()
         self.instances = instances or InstanceEnv()
         self.queue: deque[tuple[Constraint, Scope]] = deque()

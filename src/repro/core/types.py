@@ -284,17 +284,29 @@ class InternTable:
     zonks of the same variable return the *identical* object and the
     per-unifier free-variable caches hit on identity instead of paying a
     structural comparison.
+
+    A table may be *shared* across many inference runs (the serve daemon
+    hands one table to every session so common prelude types are stored
+    once per process).  Sharing is safe under concurrent interning: a
+    lost race stores a structurally equal duplicate, which only costs a
+    cache miss, never a wrong answer.  ``capacity`` bounds a long-lived
+    shared table — once full, :meth:`intern` stops storing new nodes and
+    simply returns its argument, so a daemon's memory cannot grow without
+    bound with request traffic.
     """
 
-    __slots__ = ("_table",)
+    __slots__ = ("_table", "capacity")
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
         self._table: dict[Type, Type] = {}
+        self.capacity = capacity
 
     def intern(self, type_: Type) -> Type:
         cached = self._table.get(type_)
         if cached is not None:
             return cached
+        if self.capacity is not None and len(self._table) >= self.capacity:
+            return type_
         self._table[type_] = type_
         return type_
 

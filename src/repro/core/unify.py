@@ -147,6 +147,7 @@ class Unifier:
         budget: "Budget | None" = None,
         faults: "FaultPlan | None" = None,
         tracer: "TracerLike | None" = None,
+        intern: InternTable | None = None,
     ) -> None:
         self.supply = supply or NameSupply("v")
         self._parent: dict[UVar, UVar] = {}
@@ -166,7 +167,7 @@ class Unifier:
         """Solver wake-up callback, fired after any variable is solved."""
         self._fuv_cache: dict[Type, tuple[UVar, ...]] = {}
         self._ftv_cache: dict[Type, tuple[str, ...]] = {}
-        self._intern = InternTable()
+        self._intern = intern if intern is not None else InternTable()
         self.subst = SubstitutionView(self)
 
     # -- fresh variables and skolems -----------------------------------

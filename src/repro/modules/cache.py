@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 
 from repro.core.env import Environment
@@ -116,7 +118,16 @@ class ModuleCache:
     SCHEMA_VERSION = 1
 
     def save(self, path: str) -> None:
-        """Write the cache to ``path`` as JSON."""
+        """Write the cache to ``path`` as JSON, atomically.
+
+        The payload goes to a temporary file in the same directory which
+        is then renamed over ``path`` (``os.replace`` is atomic on POSIX
+        and Windows), so a process killed mid-save — or a full disk —
+        can never leave a truncated sidecar behind: readers see either
+        the old complete file or the new complete file.  The load path's
+        damage→cold-start recovery stays as a second line of defence,
+        but corruption is no longer reachable through this writer.
+        """
         payload = {
             "version": self.SCHEMA_VERSION,
             "entries": {
@@ -124,9 +135,28 @@ class ModuleCache:
                 for name, entry in self.entries.items()
             },
         }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, ensure_ascii=False, indent=1)
-            handle.write("\n")
+        target = os.path.abspath(path)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=os.path.dirname(target),
+            prefix=os.path.basename(target) + ".",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, ensure_ascii=False, indent=1)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, target)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str) -> "ModuleCache":

@@ -170,6 +170,7 @@ class Tracer:
         self,
         sink: Callable[[dict], None] | None = None,
         metrics=None,
+        retain_events: bool = True,
     ) -> None:
         from repro.observability.metrics import Metrics
 
@@ -181,6 +182,10 @@ class Tracer:
         self.events: list[dict] = []
         self.sink = sink
         self.metrics = metrics if metrics is not None else Metrics()
+        self.retain_events = retain_events
+        """When False, events and finished spans are streamed to ``sink``
+        but not accumulated in memory — the long-lived serve daemon would
+        otherwise grow its trace buffers without bound under traffic."""
         self._clock0 = time.perf_counter()
 
     # ------------------------------------------------------------------
@@ -221,10 +226,11 @@ class Tracer:
                 timestamp,
                 threading.get_ident(),
             )
-            self.spans[span_id] = span
-            if parent is None:
-                self.roots.append(span)
-            else:
+            if self.retain_events:
+                self.spans[span_id] = span
+                if parent is None:
+                    self.roots.append(span)
+            if parent is not None:
                 parent.children.append(span)
             self._emit(
                 {
@@ -308,6 +314,7 @@ class Tracer:
 
     def _emit(self, payload: dict) -> None:
         payload["v"] = 1
-        self.events.append(payload)
+        if self.retain_events:
+            self.events.append(payload)
         if self.sink is not None:
             self.sink(payload)

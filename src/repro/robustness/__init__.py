@@ -16,10 +16,16 @@ Three guarantees, layered over the core engine:
 harness the test suite uses to prove the first two guarantees hold at
 every solver step and unification depth.
 
-The batch driver is imported lazily: the core engine imports
-``repro.robustness.budget`` / ``faultinject`` (which touch nothing in
-core but the error classes), while ``batch`` imports the full engine —
-eager re-export here would close that loop during interpreter start-up.
+The serve daemon (:mod:`repro.robustness.server`) extends the same
+guarantees across a process boundary: per-request containment, deadline
+propagation, typed load shedding and a graceful drain — see
+DESIGN.md § Serving.
+
+The batch driver and the serve stack are imported lazily: the core
+engine imports ``repro.robustness.budget`` / ``faultinject`` (which
+touch nothing in core but the error classes), while ``batch`` and
+``server`` import the full engine — eager re-export here would close
+that loop during interpreter start-up.
 """
 
 from repro.robustness.budget import Budget
@@ -36,6 +42,18 @@ _BATCH_EXPORTS = (
     "seeded_fault_plan",
 )
 
+_SERVE_EXPORTS = {
+    "GIServer": "server",
+    "ServeConfig": "server",
+    "ServerHandle": "server",
+    "start_server_in_thread": "server",
+    "ProtocolViolation": "serveclient",
+    "ServeClient": "serveclient",
+    "LoadConfig": "loadgen",
+    "LoadReport": "loadgen",
+    "run_load": "loadgen",
+}
+
 __all__ = [
     "Budget",
     "FaultPlan",
@@ -43,6 +61,7 @@ __all__ = [
     "WorkerPool",
     "clone_budget",
     *_BATCH_EXPORTS,
+    *_SERVE_EXPORTS,
 ]
 
 
@@ -51,4 +70,9 @@ def __getattr__(name: str):
         from repro.robustness import batch
 
         return getattr(batch, name)
+    if name in _SERVE_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(f"repro.robustness.{_SERVE_EXPORTS[name]}")
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -109,9 +109,14 @@ class BatchResult:
 
     items: list[BatchItem] = field(default_factory=list)
 
+    interrupted: bool = False
+    """True when the run was cancelled (SIGINT/SIGTERM under the CLI)
+    before every source was checked — ``items`` then holds the results
+    completed before the interrupt, still in input order."""
+
     @property
     def ok(self) -> bool:
-        return all(item.ok for item in self.items)
+        return all(item.ok for item in self.items) and not self.interrupted
 
     @property
     def failures(self) -> list[BatchItem]:
@@ -126,6 +131,7 @@ class BatchResult:
             "total": len(self.items),
             "passed": len(self.items) - len(self.failures),
             "failed": len(self.failures),
+            "interrupted": self.interrupted,
             "items": [item.to_dict() for item in self.items],
         }
 
@@ -155,6 +161,7 @@ def check_batch(
     jobs: int = 1,
     seed: int | None = None,
     tracer=None,
+    cancel=None,
 ) -> BatchResult:
     """Type-check every expression, isolating each under its own budget.
 
@@ -172,6 +179,13 @@ def check_batch(
     forces ``jobs=1`` — as does ``seed``, which arms a *per-item* plan
     from :func:`seeded_fault_plan` for reproducible fault sweeps and
     stamps the seed into every resulting diagnostic.
+
+    ``cancel`` (a :class:`threading.Event`, or anything with ``is_set``)
+    makes the run interruptible: it is polled before each item — in every
+    worker too — and once set, remaining items are dropped and the result
+    comes back with ``interrupted=True`` holding the completed prefix.
+    This is how the CLI drains the pool on SIGINT/SIGTERM instead of
+    orphaning workers mid-batch.
     """
     from repro.robustness.pool import WorkerPool, clone_budget
 
@@ -195,6 +209,9 @@ def check_batch(
             )
             result = BatchResult()
             for index, source in enumerate(sources):
+                if cancel is not None and cancel.is_set():
+                    result.interrupted = True
+                    break
                 inferencer = shared or Inferencer(
                     env,
                     instances,
@@ -214,8 +231,12 @@ def check_batch(
 
         pool = WorkerPool(jobs=jobs, budget_factory=lambda: clone_budget(budget))
 
-        def run(indexed: tuple[int, str], worker_budget: Budget | None) -> BatchItem:
+        def run(
+            indexed: tuple[int, str], worker_budget: Budget | None
+        ) -> BatchItem | None:
             index, source = indexed
+            if cancel is not None and cancel.is_set():
+                return None  # drained: the item never started
             worker = Inferencer(
                 env, instances, options, budget=worker_budget, tracer=tracer
             )
@@ -228,7 +249,9 @@ def check_batch(
                 return _check_one(worker, index, source)
 
         result = BatchResult()
-        result.items.extend(pool.map(run, list(enumerate(sources))))
+        outcomes = pool.map(run, list(enumerate(sources)))
+        result.items.extend(item for item in outcomes if item is not None)
+        result.interrupted = any(item is None for item in outcomes)
         return result
 
 
@@ -312,5 +335,6 @@ def render_text(result: BatchResult) -> str:
             )
     total = len(result.items)
     failed = len(result.failures)
-    lines.append(f"{total - failed}/{total} passed, {failed} failed")
+    tail = " (interrupted — partial results)" if result.interrupted else ""
+    lines.append(f"{total - failed}/{total} passed, {failed} failed{tail}")
     return "\n".join(lines)

@@ -41,6 +41,13 @@ class Budget:
     wall_clock: float | None = None
     """Deadline in seconds, measured from :meth:`start`."""
 
+    deadline_at: float | None = None
+    """Absolute deadline on the :func:`time.monotonic` clock — the serve
+    daemon's deadline *propagation*: a request's deadline is fixed at
+    admission, so time spent waiting in the queue consumes the same
+    budget as time spent solving.  When both this and ``wall_clock`` are
+    set, the earlier deadline wins."""
+
     tracer: object | None = field(default=None, repr=False, compare=False)
     """Optional :class:`~repro.observability.tracer.TracerLike`; when set
     and enabled, the budget samples its counters as gauges every
@@ -66,10 +73,23 @@ class Budget:
         self.solver_wakeups = 0
         self.peak_unify_depth = 0
         self._started_at = time.monotonic()
-        self._deadline_at = (
+        relative = (
             self._started_at + self.wall_clock if self.wall_clock is not None else None
         )
+        candidates = [at for at in (relative, self.deadline_at) if at is not None]
+        self._deadline_at = min(candidates) if candidates else None
         return self
+
+    def remaining_seconds(self) -> float | None:
+        """Seconds until the armed deadline; ``None`` when unbounded.
+
+        Callers that dequeue work (the serve daemon) use this to reject a
+        request whose deadline expired while it waited, without paying
+        for a doomed inference run.
+        """
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - time.monotonic()
 
     # ------------------------------------------------------------------
     # Checks (called by the solver / unifier with their own counters)
@@ -118,11 +138,14 @@ class Budget:
 
     def _check_deadline(self, phase: str, constraint=None) -> None:
         if self._deadline_at is not None and time.monotonic() > self._deadline_at:
-            self._trace_exceeded("deadline", "wall_clock", self.wall_clock)
+            limit = self.wall_clock
+            if limit is None and self._started_at is not None:
+                limit = round(self._deadline_at - self._started_at, 6)
+            self._trace_exceeded("deadline", "wall_clock", limit)
             raise BudgetExceededError(
                 phase="deadline",
                 limit_name="wall_clock",
-                limit=self.wall_clock,
+                limit=limit,
                 counters=self.counters(),
                 constraint=constraint,
             )

@@ -1,0 +1,299 @@
+"""A seeded load generator for the ``repro serve`` daemon.
+
+Drives N concurrent clients against one server, each with its own
+connection (and therefore its own isolated session), sampling a
+deterministic mix of request kinds per client from
+``random.Random(f"{seed}:{client}")``:
+
+* **well-typed** expressions over the Figure-1/2 prelude (the happy
+  path, exercising the shared intern table);
+* **ill-typed** expressions (parse errors, scope errors, guardedness
+  violations — every one must come back as a typed ``error``);
+* **adversarial-deep** application spines (budget pressure);
+* **fault-injected** requests arming a deterministic
+  :class:`~repro.robustness.faultinject.FaultPlan` server-side (needs
+  ``--allow-faults``; every one must come back ``internal``, with the
+  server still alive);
+* **oversized** payloads (shed with ``PayloadTooLarge``; the connection
+  closes and the client reconnects);
+* **mid-request disconnects** (send, slam the socket shut, reconnect).
+
+Every response is schema-validated on read (see
+:class:`~repro.robustness.serveclient.ServeClient`); the report counts
+outcomes by status and error class and summarises client-observed
+latency (p50/p95/p99) over *served* requests — shed responses are
+counted separately, which is exactly the split the overload acceptance
+test needs.  The CLI lives at ``python -m repro loadgen``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.robustness.serveclient import ProtocolViolation, ServeClient
+
+WELL_TYPED = (
+    "head ids",
+    "single id",
+    r"\x y -> y",
+    "choose id",
+    "id auto",
+    "poly id",
+    r"poly (\x -> x)",
+    "length ids",
+    "id : ids",
+    "single inc ++ single id",
+    "map head (single ids)",
+    "app poly id",
+    "revapp id poly",
+    "app runST argST",
+    r"k (\x -> h x) lst",
+    "let y = choose id in y inc",
+    "pair 1 True",
+)
+
+ILL_TYPED = (
+    "nope",                  # scope error
+    "ids 1",                 # a list is not a function
+    r"\x -> x x",            # needs an annotation (B1-style)
+    "head 1",
+    "poly 1",
+    "choose id auto'",       # Figure 2 A8 — GI rejects
+    "k h lst",               # Figure 2 E1 — all systems reject
+    "((",                    # parse error
+    "let x = in x",          # parse error
+    "(single id :: Int)",    # annotation mismatch
+)
+
+SERVED_STATUSES = ("ok", "error", "internal")
+"""Outcomes of requests that were admitted and ran to a response."""
+
+
+def deep_expr(depth: int) -> str:
+    """An application spine ``single (single (... id))`` of given depth."""
+    expr = "id"
+    for _ in range(depth):
+        expr = f"single ({expr})"
+    return expr
+
+
+@dataclass
+class LoadConfig:
+    """One load run; weights need not sum to 1 (the rest is well-typed)."""
+
+    socket_path: str | None = None
+    host: str = "127.0.0.1"
+    port: int | None = None
+    clients: int = 8
+    requests: int = 50
+    """Requests per client."""
+
+    seed: int = 0
+    timeout_ms: int = 10_000
+    ill_rate: float = 0.2
+    deep_rate: float = 0.1
+    deep_depth: int = 30
+    fault_rate: float = 0.0
+    oversize_rate: float = 0.0
+    oversize_bytes: int = 2_000_000
+    disconnect_rate: float = 0.0
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcomes of one load run."""
+
+    clients: int = 0
+    requests_sent: int = 0
+    elapsed_s: float = 0.0
+    by_status: dict = field(default_factory=dict)
+    by_error_class: dict = field(default_factory=dict)
+    latencies_ms: list = field(default_factory=list)
+    """Client-observed latencies of *served* requests, unsorted."""
+
+    violations: list = field(default_factory=list)
+    """Schema violations and unexpected client-side crashes — the soak
+    asserts this stays empty."""
+
+    @property
+    def served(self) -> int:
+        return sum(self.by_status.get(status, 0) for status in SERVED_STATUSES)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.served / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentiles(self) -> dict:
+        from repro.observability.metrics import percentile
+
+        ordered = sorted(self.latencies_ms)
+        if not ordered:
+            return {"count": 0}
+        return {
+            "count": len(ordered),
+            "mean": round(sum(ordered) / len(ordered), 3),
+            "p50": round(percentile(ordered, 0.50), 3),
+            "p95": round(percentile(ordered, 0.95), 3),
+            "p99": round(percentile(ordered, 0.99), 3),
+            "max": round(ordered[-1], 3),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests_sent": self.requests_sent,
+            "served": self.served,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "by_status": dict(sorted(self.by_status.items())),
+            "by_error_class": dict(sorted(self.by_error_class.items())),
+            "latency_ms": self.percentiles(),
+            "violations": list(self.violations),
+        }
+
+
+def _pick_kind(rng: random.Random, config: LoadConfig) -> str:
+    roll = rng.random()
+    for kind, rate in (
+        ("disconnect", config.disconnect_rate),
+        ("oversize", config.oversize_rate),
+        ("fault", config.fault_rate),
+        ("deep", config.deep_rate),
+        ("ill", config.ill_rate),
+    ):
+        if roll < rate:
+            return kind
+        roll -= rate
+    return "well"
+
+
+def _record(report: LoadReport, lock: threading.Lock, status: str, reply=None, ms=None):
+    with lock:
+        report.by_status[status] = report.by_status.get(status, 0) + 1
+        if reply is not None and not reply.get("ok"):
+            error_class = reply["error"]["class"]
+            report.by_error_class[error_class] = (
+                report.by_error_class.get(error_class, 0) + 1
+            )
+        if ms is not None and status in SERVED_STATUSES:
+            report.latencies_ms.append(ms)
+
+
+def _client_worker(
+    index: int, config: LoadConfig, report: LoadReport, lock: threading.Lock
+) -> None:
+    rng = random.Random(f"{config.seed}:{index}")
+    client = ServeClient(
+        socket_path=config.socket_path, host=config.host, port=config.port
+    )
+    client.connect()
+    try:
+        for _ in range(config.requests):
+            kind = _pick_kind(rng, config)
+            with lock:
+                report.requests_sent += 1
+            try:
+                if kind == "disconnect":
+                    client.send("infer", expr=rng.choice(WELL_TYPED))
+                    client.close()
+                    _record(report, lock, "disconnected")
+                    client.connect()
+                    continue
+                if kind == "oversize":
+                    filler = "x" * config.oversize_bytes
+                    client.send_raw(
+                        f'{{"v":1,"id":0,"op":"infer","expr":"{filler}"}}\n'
+                    )
+                    reply = client.wait_for(None)
+                    _record(report, lock, "oversized", reply)
+                    client.close()  # the server closes after an oversize
+                    client.connect()
+                    continue
+                fields: dict = {"timeout_ms": config.timeout_ms}
+                if kind == "fault":
+                    if rng.random() < 0.5:
+                        fields["fault_step"] = rng.randint(1, 64)
+                    else:
+                        fields["fault_depth"] = rng.randint(1, 16)
+                    expr = rng.choice(WELL_TYPED)
+                elif kind == "deep":
+                    expr = deep_expr(config.deep_depth)
+                elif kind == "ill":
+                    expr = rng.choice(ILL_TYPED)
+                else:
+                    expr = rng.choice(WELL_TYPED)
+                started = time.perf_counter()
+                reply = client.request("infer", expr=expr, **fields)
+                ms = (time.perf_counter() - started) * 1000.0
+                if reply.get("ok"):
+                    _record(report, lock, "ok", reply, ms)
+                else:
+                    severity = reply["error"]["severity"]
+                    status = severity if severity != "error" else "error"
+                    _record(report, lock, status, reply, ms)
+            except ProtocolViolation as violation:
+                with lock:
+                    report.violations.append(str(violation))
+            except (ConnectionError, OSError) as error:
+                # A dropped connection is a robustness data point, not a
+                # crash; reconnect and keep the load coming.
+                _record(report, lock, "connection_lost")
+                _ = error
+                try:
+                    client.close()
+                    client.connect()
+                except OSError:
+                    return  # the server really is gone; the soak will see it
+    finally:
+        client.close()
+
+
+def run_load(config: LoadConfig) -> LoadReport:
+    """Run the full load: ``clients`` threads × ``requests`` each."""
+    report = LoadReport(clients=config.clients)
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(index, config, report, lock),
+            name=f"loadgen-{index}",
+            daemon=True,
+        )
+        for index in range(config.clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def render_load_text(report: LoadReport) -> str:
+    """The human-readable summary printed by ``repro loadgen``."""
+    payload = report.to_dict()
+    lines = [
+        f"{payload['served']}/{payload['requests_sent']} served "
+        f"in {payload['elapsed_s']}s ({payload['throughput_rps']} req/s)",
+        "status: "
+        + ", ".join(f"{k}={v}" for k, v in payload["by_status"].items()),
+    ]
+    if payload["by_error_class"]:
+        lines.append(
+            "errors: "
+            + ", ".join(f"{k}={v}" for k, v in payload["by_error_class"].items())
+        )
+    latency = payload["latency_ms"]
+    if latency.get("count"):
+        lines.append(
+            f"latency ms: p50={latency['p50']} p95={latency['p95']} "
+            f"p99={latency['p99']} max={latency['max']}"
+        )
+    if payload["violations"]:
+        lines.append(f"VIOLATIONS ({len(payload['violations'])}):")
+        lines.extend(f"  {violation}" for violation in payload["violations"][:10])
+    return "\n".join(lines)

@@ -42,6 +42,7 @@ def clone_budget(budget: Budget | None) -> Budget | None:
         max_solver_steps=budget.max_solver_steps,
         max_unify_depth=budget.max_unify_depth,
         wall_clock=budget.wall_clock,
+        deadline_at=budget.deadline_at,
         tracer=budget.tracer,
     )
 
@@ -88,18 +89,30 @@ class WorkerPool:
         into an :class:`InternalError` whose snapshot carries the worker
         thread's name and the *formatted remote traceback*, so structured
         output shows where the crash actually happened.
+
+        ``BaseException`` is deliberate: a worker raising ``SystemExit``
+        or ``KeyboardInterrupt`` must not tear down the pool (or, through
+        ``ThreadPoolExecutor.map``, the whole driver) — a task asking the
+        *process* to exit is a contained task failure like any other.
+        Even the fallback is guarded: if formatting the traceback or the
+        error itself blows up, a bare placeholder ``InternalError`` still
+        comes out, so containment cannot fail.
         """
         try:
             return fn(item, budget)
         except GIError:
             raise
-        except Exception as error:  # noqa: BLE001 — worker containment
+        except BaseException as error:  # noqa: BLE001 — worker containment
+            try:
+                formatted = _traceback.format_exc()
+            except Exception:  # pragma: no cover — formatting crashed
+                formatted = None
             raise InternalError(
                 error,
                 phase="worker",
                 snapshot={
                     "worker": threading.current_thread().name,
-                    "traceback": _traceback.format_exc(),
+                    "traceback": formatted,
                 },
             ) from error
 

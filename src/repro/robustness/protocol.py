@@ -1,0 +1,274 @@
+"""The versioned JSONL wire protocol of the ``repro serve`` daemon.
+
+One JSON object per line in both directions.  Every message carries
+``{"v": 1}``; requests carry an ``id`` (echoed verbatim in the response
+so clients may pipeline) and an ``op``::
+
+    {"v":1,"id":1,"op":"infer","expr":"head ids","timeout_ms":2000}
+    {"v":1,"id":1,"ok":true,"op":"infer","type":"forall p a. p a a -> a","ms":1.4}
+
+Operations
+==========
+
+=============  =====================================================
+``check``       ``expr`` + ``signature`` — check against a signature
+``infer``       ``expr`` — principal type
+``module``      ``source`` *or* ``path`` — check a module into the
+                session (bindings stay visible to later requests)
+``explain``     ``expr`` — infer + the derivation narrative
+``stats``       server/queue/session statistics
+``shutdown``    begin a graceful drain
+=============  =====================================================
+
+Optional request fields: ``session`` (a name — requests sharing it share
+an env/cache namespace across connections; default is a per-connection
+session), ``timeout_ms`` (clamped by the server ceiling; the deadline is
+fixed at *admission*, so queue wait counts against it), ``max_steps`` /
+``max_depth`` (solver/unifier budgets, clamped likewise), and — only
+when the server runs with ``--allow-faults`` — ``fault_step`` /
+``fault_depth`` arming a deterministic :class:`FaultPlan` for that one
+request (the crash-containment soak's entry point).
+
+Failure responses carry ``ok: false`` plus a structured ``error`` object
+``{class, severity, message, phase?}``.  ``severity`` partitions every
+possible failure:
+
+* ``"error"`` — a well-delimited rejection (parse/type error, exhausted
+  budget, a malformed request);
+* ``"internal"`` — a contained engine crash (the server survives; the
+  response may carry the remote traceback);
+* ``"overloaded"`` — load was shed before admission; the response also
+  carries a top-level ``retry_after_ms`` hint;
+* ``"unavailable"`` — the server is draining and accepts no new work.
+
+On connect the server sends one hello line
+(``{"v":1,"event":"hello","proto":1,"session":...}``) announcing the
+protocol version and the connection's default session name.
+
+:func:`validate_request` and :func:`validate_response` are the single
+source of truth for the schema — the server, the test suite, the load
+generator and the CI smoke job all call them.
+"""
+
+from __future__ import annotations
+
+import json
+
+PROTO_VERSION = 1
+
+OPS = ("check", "infer", "module", "explain", "stats", "shutdown")
+
+SEVERITY_ERROR = "error"
+SEVERITY_INTERNAL = "internal"
+SEVERITY_OVERLOADED = "overloaded"
+SEVERITY_UNAVAILABLE = "unavailable"
+SEVERITIES = (
+    SEVERITY_ERROR,
+    SEVERITY_INTERNAL,
+    SEVERITY_OVERLOADED,
+    SEVERITY_UNAVAILABLE,
+)
+
+MAX_LINE_BYTES = 1_000_000
+"""Default per-line ceiling; longer requests are shed with a typed
+``PayloadTooLarge`` error instead of buffering without bound."""
+
+_NUMBER = (int, float)
+_ID_TYPES = (int, str)
+
+_FIELD_TYPES: dict[str, tuple] = {
+    "expr": (str,),
+    "signature": (str,),
+    "source": (str,),
+    "path": (str,),
+    "session": (str,),
+    "timeout_ms": _NUMBER,
+    "max_steps": (int,),
+    "max_depth": (int,),
+    "fault_step": (int,),
+    "fault_depth": (int,),
+    "stats": (bool,),
+}
+
+_OP_REQUIRED: dict[str, tuple[str, ...]] = {
+    "check": ("expr", "signature"),
+    "infer": ("expr",),
+    "module": (),  # source xor path, checked specially
+    "explain": ("expr",),
+    "stats": (),
+    "shutdown": (),
+}
+
+_OP_OPTIONAL: dict[str, tuple[str, ...]] = {
+    "check": ("timeout_ms", "max_steps", "max_depth", "fault_step", "fault_depth"),
+    "infer": ("timeout_ms", "max_steps", "max_depth", "fault_step", "fault_depth"),
+    "module": (
+        "source",
+        "path",
+        "stats",
+        "timeout_ms",
+        "max_steps",
+        "max_depth",
+    ),
+    "explain": ("timeout_ms", "max_steps", "max_depth"),
+    "stats": (),
+    "shutdown": (),
+}
+
+
+def validate_request(obj) -> list[str]:
+    """Schema errors for one parsed request; an empty list means valid."""
+    if not isinstance(obj, dict):
+        return [f"request must be a JSON object, got {type(obj).__name__}"]
+    errors: list[str] = []
+    version = obj.get("v")
+    if not isinstance(version, int) or isinstance(version, bool):
+        errors.append("missing or non-integer field `v`")
+    elif version != PROTO_VERSION:
+        errors.append(f"unsupported protocol version {version!r}")
+    if "id" not in obj:
+        errors.append("missing required field `id`")
+    elif not isinstance(obj["id"], _ID_TYPES) or isinstance(obj["id"], bool):
+        errors.append(f"field `id` must be int or str, got {type(obj['id']).__name__}")
+    op = obj.get("op")
+    if not isinstance(op, str):
+        errors.append("missing or non-string field `op`")
+        return errors
+    if op not in OPS:
+        errors.append(f"unknown op `{op}` (known: {', '.join(OPS)})")
+        return errors
+    for name in _OP_REQUIRED[op]:
+        if name not in obj:
+            errors.append(f"{op}: missing required field `{name}`")
+    if op == "module" and ("source" in obj) == ("path" in obj):
+        errors.append("module: exactly one of `source` / `path` is required")
+    allowed = {"v", "id", "op", "session"}
+    allowed.update(_OP_REQUIRED[op])
+    allowed.update(_OP_OPTIONAL[op])
+    for name, value in obj.items():
+        if name not in allowed:
+            errors.append(f"{op}: unexpected field `{name}`")
+            continue
+        expected = _FIELD_TYPES.get(name)
+        if expected is not None and (
+            not isinstance(value, expected)
+            or (isinstance(value, bool) and bool not in expected)
+        ):
+            errors.append(f"{op}: field `{name}` has wrong type {type(value).__name__}")
+    for name in ("timeout_ms", "max_steps", "max_depth", "fault_step", "fault_depth"):
+        value = obj.get(name)
+        if isinstance(value, _NUMBER) and not isinstance(value, bool) and value <= 0:
+            errors.append(f"{op}: field `{name}` must be positive")
+    return errors
+
+
+def validate_response(obj) -> list[str]:
+    """Schema errors for one parsed response; an empty list means valid."""
+    if not isinstance(obj, dict):
+        return [f"response must be a JSON object, got {type(obj).__name__}"]
+    errors: list[str] = []
+    version = obj.get("v")
+    if version != PROTO_VERSION or isinstance(version, bool):
+        errors.append(f"missing or unsupported field `v` ({version!r})")
+    if "id" not in obj:
+        errors.append("missing required field `id`")
+    elif obj["id"] is not None and (
+        not isinstance(obj["id"], _ID_TYPES) or isinstance(obj["id"], bool)
+    ):
+        errors.append("field `id` must be int, str or null")
+    ok = obj.get("ok")
+    if not isinstance(ok, bool):
+        errors.append("missing or non-boolean field `ok`")
+        return errors
+    if ok:
+        if "error" in obj:
+            errors.append("`ok` response must not carry `error`")
+        return errors
+    error = obj.get("error")
+    if not isinstance(error, dict):
+        errors.append("failure response must carry an `error` object")
+        return errors
+    for name in ("class", "message", "severity"):
+        if not isinstance(error.get(name), str):
+            errors.append(f"error object: missing or non-string `{name}`")
+    severity = error.get("severity")
+    if isinstance(severity, str) and severity not in SEVERITIES:
+        errors.append(f"error object: unknown severity `{severity}`")
+    if severity == SEVERITY_OVERLOADED:
+        retry = obj.get("retry_after_ms")
+        if not isinstance(retry, int) or isinstance(retry, bool) or retry < 0:
+            errors.append("overloaded response must carry integer `retry_after_ms`")
+    return errors
+
+
+def validate_response_line(line: str) -> list[str]:
+    """Schema errors for one raw response line (parse errors included)."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as error:
+        return [f"not valid JSON: {error}"]
+    if isinstance(obj, dict) and obj.get("event") == "hello":
+        return validate_hello(obj)
+    return validate_response(obj)
+
+
+def validate_hello(obj) -> list[str]:
+    """Schema errors for the per-connection hello line."""
+    errors: list[str] = []
+    if obj.get("v") != PROTO_VERSION:
+        errors.append("hello: missing or unsupported `v`")
+    if obj.get("event") != "hello":
+        errors.append("hello: `event` must be \"hello\"")
+    if obj.get("proto") != PROTO_VERSION:
+        errors.append("hello: missing or unsupported `proto`")
+    if not isinstance(obj.get("session"), str):
+        errors.append("hello: missing or non-string `session`")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Response builders (the server uses these; tests assert through the
+# validators above, so builders and validators cannot drift apart).
+# ----------------------------------------------------------------------
+
+
+def ok_response(request_id, op: str, **payload) -> dict:
+    response = {"v": PROTO_VERSION, "id": request_id, "ok": True, "op": op}
+    response.update(payload)
+    return response
+
+
+def error_response(
+    request_id,
+    error_class: str,
+    message: str,
+    severity: str = SEVERITY_ERROR,
+    op: str | None = None,
+    phase: str | None = None,
+    **extra,
+) -> dict:
+    error: dict = {"class": error_class, "severity": severity, "message": message}
+    if phase is not None:
+        error["phase"] = phase
+    response: dict = {"v": PROTO_VERSION, "id": request_id, "ok": False, "error": error}
+    if op is not None:
+        response["op"] = op
+    response.update(extra)
+    return response
+
+
+def hello(session: str, **extra) -> dict:
+    payload = {
+        "v": PROTO_VERSION,
+        "event": "hello",
+        "proto": PROTO_VERSION,
+        "server": "repro-serve",
+        "session": session,
+    }
+    payload.update(extra)
+    return payload
+
+
+def encode(message: dict) -> bytes:
+    """One wire line for ``message`` (compact JSON + newline)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")

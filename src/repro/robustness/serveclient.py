@@ -1,0 +1,167 @@
+"""A small synchronous client for the ``repro serve`` daemon.
+
+Used by the test suite, the load generator and the CI smoke job; it is
+deliberately minimal — one socket, blocking request/response — because
+the interesting concurrency lives server-side::
+
+    with ServeClient(socket_path="/tmp/gi.sock") as client:
+        reply = client.request("infer", expr="head ids")
+        assert reply["ok"] and reply["type"].startswith("forall")
+
+:meth:`ServeClient.connect` retries for ``retry_for`` seconds, so a
+caller that just forked the daemon can connect without a sleep-loop of
+its own.  Every response read off the wire is schema-checked with
+:func:`repro.robustness.protocol.validate_response`; a malformed line
+raises :class:`ProtocolViolation` — this is how the soak test asserts
+"every response schema-valid" without a second validation pass.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.robustness import protocol
+
+
+class ProtocolViolation(AssertionError):
+    """The server sent a line that fails the response schema."""
+
+
+class ServeClient:
+    """One connection to a serve daemon (Unix socket or TCP)."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        timeout: float = 30.0,
+        validate: bool = True,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path / port is required")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.validate = validate
+        self.hello: dict | None = None
+        self.session: str | None = None
+        self._sock: socket.socket | None = None
+        self._reader = None
+        self._next_id = 0
+        self._mailbox: dict = {}
+        """Responses read while waiting for a different id — kept so
+        pipelined requests can be awaited in any order."""
+
+    # ------------------------------------------------------------------
+
+    def connect(self, retry_for: float = 5.0) -> dict:
+        """Connect (retrying while the daemon boots) and read the hello."""
+        deadline = time.monotonic() + retry_for
+        while True:
+            try:
+                if self.socket_path is not None:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self.timeout)
+                    sock.connect(self.socket_path)
+                else:
+                    sock = socket.create_connection(
+                        (self.host, self.port), timeout=self.timeout
+                    )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        self._sock = sock
+        self._mailbox.clear()
+        self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self.hello = self._read_message()
+        if self.hello is None:
+            raise ConnectionError("server closed the connection before hello")
+        if self.validate:
+            problems = protocol.validate_hello(self.hello)
+            if problems:
+                raise ProtocolViolation(f"bad hello: {'; '.join(problems)}")
+        self.session = self.hello.get("session")
+        return self.hello
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one request and block for its response (matched by id)."""
+        request_id = self.send(op, **fields)
+        return self.wait_for(request_id)
+
+    def send(self, op: str, **fields) -> int:
+        """Send a request without waiting; returns its id (pipelining)."""
+        self._next_id += 1
+        request = {"v": protocol.PROTO_VERSION, "id": self._next_id, "op": op}
+        request.update(fields)
+        self.send_raw(json.dumps(request, separators=(",", ":")) + "\n")
+        return self._next_id
+
+    def send_raw(self, text: str) -> None:
+        """Send raw bytes — the adversarial paths (oversized payloads,
+        malformed JSON, half-written requests) go through here."""
+        if self._sock is None:
+            raise ConnectionError("not connected")
+        self._sock.sendall(text.encode("utf-8"))
+
+    def wait_for(self, request_id) -> dict:
+        """Read responses until the one matching ``request_id`` arrives.
+
+        Responses to *other* pipelined requests seen along the way are
+        parked in a mailbox and handed out when their turn comes."""
+        if request_id in self._mailbox:
+            return self._mailbox.pop(request_id)
+        while True:
+            message = self._read_message()
+            if message is None:
+                raise ConnectionError("server closed the connection mid-request")
+            if message.get("id") == request_id:
+                return message
+            self._mailbox[message.get("id")] = message
+
+    def _read_message(self) -> dict | None:
+        line = self._reader.readline()
+        if not line:
+            return None
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ProtocolViolation(f"response is not JSON: {error}") from error
+        if self.validate and not (
+            isinstance(message, dict) and message.get("event") == "hello"
+        ):
+            problems = protocol.validate_response(message)
+            if problems:
+                raise ProtocolViolation(
+                    f"bad response {line.strip()[:200]}: {'; '.join(problems)}"
+                )
+        return message

@@ -188,3 +188,76 @@ class TestBatchJobs:
         out = capsys.readouterr().out
         assert "9/9 passed, 0 failed" in out
         assert out.index("#0: ok") < out.index("#8: ok")
+
+
+class _FlipAfter:
+    """A fake cancel event that flips to set after N ``is_set`` polls —
+    deterministic interruption without real signals or timing."""
+
+    def __init__(self, after: int):
+        self.after = after
+        self.polls = 0
+
+    def is_set(self) -> bool:
+        self.polls += 1
+        return self.polls > self.after
+
+
+class TestBatchCancel:
+    """Cooperative interruption: partial results, never orphaned work."""
+
+    def test_serial_cancel_keeps_completed_prefix(self):
+        sources = WELL_TYPED * 4  # 12 items
+        result = check_batch(sources, ENV, cancel=_FlipAfter(5))
+        assert result.interrupted
+        assert len(result.items) == 5
+        assert [item.index for item in result.items] == list(range(5))
+        assert all(item.ok for item in result.items)
+        assert not result.ok  # partial is not success
+        assert result.to_dict()["interrupted"] is True
+
+    def test_preset_cancel_checks_nothing(self):
+        import threading
+
+        cancel = threading.Event()
+        cancel.set()
+        result = check_batch(WELL_TYPED, ENV, cancel=cancel)
+        assert result.interrupted and result.items == []
+
+    def test_pool_cancel_preserves_order_of_survivors(self):
+        result = check_batch(WELL_TYPED * 4, ENV, jobs=3, cancel=_FlipAfter(6))
+        assert result.interrupted
+        # Survivors keep submission order even though later indices may
+        # have been dropped by whichever worker saw the flag first.
+        indices = [item.index for item in result.items]
+        assert indices == sorted(indices)
+        assert 0 < len(result.items) < 12
+
+    def test_uninterrupted_run_is_not_marked(self):
+        result = check_batch(WELL_TYPED, ENV, cancel=_FlipAfter(999))
+        assert not result.interrupted and result.ok
+
+    def test_cli_sigint_emits_partial_json_and_130(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        path = tmp_path / "big.gi"
+        path.write_text("\n".join([BUSY] * 4000) + "\n")
+        env = dict(os.environ, PYTHONPATH="src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "batch", str(path), "--json"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=os.getcwd(),
+        )
+        time.sleep(1.5)  # let it get through some prefix of the batch
+        process.send_signal(signal.SIGINT)
+        out, err = process.communicate(timeout=60)
+        assert process.returncode == 130, err.decode()
+        payload = json.loads(out)
+        assert payload["interrupted"] is True
+        assert 0 < len(payload["items"]) < 4000

@@ -273,6 +273,45 @@ class TestModuleCachePersistence:
         assert len(ModuleCache.load(str(path))) == 0
         assert len(ModuleCache.load(str(tmp_path / "missing.json"))) == 0
 
+    def _populated_cache(self):
+        cache = ModuleCache()
+        engine = ModuleEngine(ENV, cache=cache)
+        result = engine.check_source(synthetic_module_source(chains=1, depth=2))
+        assert result.ok
+        return cache
+
+    def test_crashed_save_leaves_old_sidecar_intact(self, tmp_path, monkeypatch):
+        # A writer dying mid-save (full disk, kill -9 between write and
+        # rename) must never corrupt the sidecar: the write goes to a
+        # temp file that is renamed over the target only when complete.
+        cache = self._populated_cache()
+        path = tmp_path / "mod.cache.json"
+        cache.save(str(path))
+        before = path.read_text(encoding="utf-8")
+
+        import repro.modules.cache as cache_module
+
+        def explode(*_args, **_kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache_module.json, "dump", explode)
+        with pytest.raises(OSError):
+            cache.save(str(path))
+        assert path.read_text(encoding="utf-8") == before
+        assert len(ModuleCache.load(str(path))) == len(cache)
+        # ... and the aborted attempt cleans up its temp file.
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_save_is_effective_through_rename(self, tmp_path):
+        cache = self._populated_cache()
+        path = tmp_path / "fresh"
+        path.mkdir()
+        target = path / "mod.cache.json"
+        cache.save(str(target))
+        assert len(ModuleCache.load(str(target))) == len(cache)
+        assert [p.name for p in path.iterdir()] == ["mod.cache.json"]
+
 
 class TestSeededSweeps:
     def test_seeded_plans_are_deterministic(self):

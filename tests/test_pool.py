@@ -3,6 +3,9 @@
 import threading
 import time
 
+import pytest
+
+from repro.core.errors import InternalError
 from repro.robustness import Budget, WorkerPool, clone_budget
 
 
@@ -74,3 +77,56 @@ class TestWorkerPool:
         pool = WorkerPool(jobs=8)
         main = threading.current_thread()
         assert pool.map(lambda x, _: threading.current_thread(), [1]) == [main]
+
+
+class _Unprintable(RuntimeError):
+    """An exception whose __str__ itself crashes."""
+
+    def __str__(self):
+        raise ValueError("no rendering for you")
+
+
+class TestWorkerDeath:
+    """A task asking the process to die is a contained task failure."""
+
+    @pytest.mark.parametrize("death", [SystemExit, KeyboardInterrupt])
+    def test_process_exit_requests_become_internal_errors(self, death):
+        def task(x, _budget):
+            if x == 2:
+                raise death(f"worker {x} wants out")
+            return x
+
+        pool = WorkerPool(jobs=3)
+        with pytest.raises(InternalError) as caught:
+            pool.map(task, range(6))
+        assert caught.value.original_class == death.__name__
+        assert caught.value.phase == "worker"
+        # The remote traceback is preserved for structured output.
+        assert "wants out" in (caught.value.snapshot.get("traceback") or "")
+
+    @pytest.mark.parametrize("death", [SystemExit, KeyboardInterrupt])
+    def test_pool_survives_a_worker_death(self, death):
+        def fatal(_x, _budget):
+            raise death()
+
+        pool = WorkerPool(jobs=2)
+        with pytest.raises(InternalError):
+            pool.map(fatal, range(4))
+        # The same pool object still works, in order, after the crash.
+        assert pool.map(lambda x, _: x * x, range(5)) == [0, 1, 4, 9, 16]
+
+    def test_serial_path_contains_deaths_too(self):
+        pool = WorkerPool(jobs=1)
+        with pytest.raises(InternalError):
+            pool.map(lambda x, _: (_ for _ in ()).throw(SystemExit(3)), [1])
+
+    def test_unprintable_exception_is_still_contained(self):
+        # Containment must survive a snapshot/exception whose own
+        # formatting crashes: the message degrades to a placeholder.
+        def task(_x, _budget):
+            raise _Unprintable()
+
+        pool = WorkerPool(jobs=2)
+        with pytest.raises(InternalError) as caught:
+            pool.map(task, range(3))
+        assert "<unprintable _Unprintable>" in str(caught.value)

@@ -1,0 +1,104 @@
+"""The fault-injection soak: thousands of mixed requests, zero deaths.
+
+The acceptance scenario for the serve daemon: one server, many client
+threads, a request mix spanning well-typed, ill-typed, adversarial-deep,
+fault-injected, oversized and mid-disconnect traffic — and at the end
+the server is alive, every response was schema-valid, every failure was
+a *structured* error response, and sessions never leaked into each
+other.
+"""
+
+import json
+
+from repro.robustness.loadgen import (
+    SERVED_STATUSES,
+    LoadConfig,
+    run_load,
+)
+from repro.robustness.server import ServeConfig, start_server_in_thread
+from repro.robustness.serveclient import ServeClient
+
+TOTAL_REQUESTS = 2_048
+CLIENTS = 8
+
+
+class TestServeSoak:
+    def test_soak_mixed_traffic_no_server_deaths(self, tmp_path):
+        sock = str(tmp_path / "soak.sock")
+        config = ServeConfig(
+            socket_path=sock,
+            jobs=4,
+            queue_limit=64,
+            allow_faults=True,
+            max_line_bytes=64_000,
+            trace_path=str(tmp_path / "soak.jsonl"),
+        )
+        with start_server_in_thread(config) as handle:
+            report = run_load(
+                LoadConfig(
+                    socket_path=sock,
+                    clients=CLIENTS,
+                    requests=TOTAL_REQUESTS // CLIENTS,
+                    seed=2026,
+                    ill_rate=0.2,
+                    deep_rate=0.08,
+                    deep_depth=25,
+                    fault_rate=0.12,
+                    oversize_rate=0.02,
+                    oversize_bytes=128_000,
+                    disconnect_rate=0.03,
+                )
+            )
+            assert handle.thread.is_alive(), "server died during the soak"
+
+            # Every response line was schema-valid (the client validates
+            # on read; any violation lands in report.violations).
+            assert report.violations == [], report.violations[:5]
+            assert report.requests_sent == TOTAL_REQUESTS
+
+            # Fault-injected requests produced *structured* internal
+            # responses — never a dead connection.
+            assert report.by_status.get("internal", 0) > 0
+            assert report.by_error_class.get("InternalError", 0) > 0
+            # Ill-typed traffic came back as typed errors.
+            assert report.by_status.get("error", 0) > 0
+            # Adversarial transports happened and were survived.
+            assert report.by_status.get("oversized", 0) > 0
+            assert report.by_status.get("disconnected", 0) > 0
+            assert report.by_error_class.get("PayloadTooLarge", 0) > 0
+            # Nothing fell through to an unstructured failure.
+            assert report.by_status.get("connection_lost", 0) == 0
+
+            # The server held every request it admitted, and its own
+            # books agree a soak's worth of traffic went through.
+            counts = handle.server.counts
+            assert counts["internal"] == report.by_status.get("internal", 0)
+            assert counts["total"] >= sum(
+                report.by_status.get(status, 0) for status in SERVED_STATUSES
+            )
+
+            # Sessions stayed isolated through all of it: a module bound
+            # in one fresh session is invisible from another.
+            with ServeClient(socket_path=sock) as alice, ServeClient(
+                socket_path=sock
+            ) as bob:
+                assert alice.request(
+                    "module", source="soaked :: Int\nsoaked = 1\n"
+                )["ok"]
+                assert alice.request("infer", expr="soaked")["type"] == "Int"
+                assert (
+                    bob.request("infer", expr="soaked")["error"]["class"]
+                    == "ScopeError"
+                )
+                stats = bob.request("stats")
+                assert stats["requests"]["total"] >= TOTAL_REQUESTS * 0.9
+
+        # Clean drain at the end: thread exits, trace flushed and valid.
+        assert not handle.thread.is_alive()
+        from repro.observability import validate_line
+
+        lines = (tmp_path / "soak.jsonl").read_text(encoding="utf-8").splitlines()
+        assert len(lines) > TOTAL_REQUESTS  # at least one event per request
+        bad = [problem for line in lines if line for problem in validate_line(line)]
+        assert bad == [], bad[:5]
+        assert json.loads(lines[-1])["event"] == "metrics"
