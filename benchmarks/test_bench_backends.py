@@ -1,0 +1,88 @@
+"""Benchmark the **backend matrix**: all seven executable systems over
+the Figure-2 corpus, plus the differential oracle itself.
+
+Prints (and writes to ``results/backend_matrix.txt``) the extended
+Figure-2 acceptance matrix with the FreezeML and QuickLook columns, and
+benchmarks each backend's whole-corpus inference cost so the relative
+price of quick-look spines and freeze-aware unification is tracked over
+time.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import SYSTEMS
+from repro.conformance import DEFAULT_ORACLES, OracleContext, run_battery
+from repro.evalsuite.figure2 import (
+    FIGURE2,
+    MEASURED_SYSTEMS,
+    figure2_env,
+    measured_matrix,
+)
+from repro.evalsuite.report import mark_outcome, render_table
+
+ENV = figure2_env()
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return measured_matrix(ENV)
+
+
+def test_regenerate_backend_matrix(matrix, benchmark):
+    benchmark(lambda: measured_matrix(ENV))
+    headers = ["id", "example"] + [f"{name}*" for name in MEASURED_SYSTEMS]
+    rows = [
+        [ex.key, ex.source[:34]]
+        + [mark_outcome(matrix[name][ex.key]) for name in MEASURED_SYSTEMS]
+        for ex in FIGURE2
+    ]
+    table = render_table(
+        headers,
+        rows,
+        title="Backend matrix — all executable systems on Figure 2",
+    )
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "backend_matrix.txt").write_text(table + "\n", encoding="utf-8")
+
+    crashed = [
+        (name, key)
+        for name, outcomes in matrix.items()
+        for key, outcome in outcomes.items()
+        if outcome.crashed
+    ]
+    assert not crashed, crashed
+
+
+@pytest.mark.parametrize("system_name", sorted(SYSTEMS))
+def test_bench_backend_whole_corpus(benchmark, system_name):
+    """Whole-corpus inference cost per backend (relative price of the
+    quick-look spine pass, freeze checks, etc.)."""
+    system = SYSTEMS[system_name]
+
+    def run_corpus():
+        return sum(1 for ex in FIGURE2 if system.run(ex.term, ENV).accepted)
+
+    accepted = benchmark(run_corpus)
+    assert 0 < accepted <= len(FIGURE2)
+
+
+def test_bench_differential_oracle(benchmark):
+    """Cost of one full differential-oracle pass (all seven backends,
+    all pairwise implications) over the whole corpus."""
+
+    def run_battery_over_corpus():
+        violations = []
+        for ex in FIGURE2:
+            ctx = OracleContext(ENV)
+            violation = run_battery(ctx, ex.term, oracles=("differential",))
+            if violation is not None:
+                violations.append((ex.key, violation))
+        return violations
+
+    violations = benchmark(run_battery_over_corpus)
+    assert not violations, violations

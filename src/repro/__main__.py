@@ -313,6 +313,8 @@ def cmd_fuzz(arguments, obs: _Obs | None = None) -> int:
         run_fuzz,
     )
 
+    from repro.baselines import SYSTEMS
+
     oracles = tuple(arguments.oracle) if arguments.oracle else DEFAULT_ORACLES
     unknown = [name for name in oracles if name not in ORACLES]
     if unknown:
@@ -322,10 +324,21 @@ def cmd_fuzz(arguments, obs: _Obs | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    systems = tuple(arguments.system) if arguments.system else None
+    if systems is not None:
+        unknown_systems = [name for name in systems if name not in SYSTEMS]
+        if unknown_systems:
+            print(
+                f"error: unknown system(s) {', '.join(unknown_systems)} "
+                f"(available: {', '.join(SYSTEMS)}; see `repro systems`)",
+                file=sys.stderr,
+            )
+            return 2
     config = FuzzConfig(
         seed=arguments.seed,
         count=arguments.count,
         oracles=oracles,
+        systems=systems,
         jobs=arguments.jobs,
         corpus_dir=Path(arguments.corpus) if arguments.corpus else None,
         fault_step=arguments.fault_step,
@@ -344,6 +357,35 @@ def cmd_fuzz(arguments, obs: _Obs | None = None) -> int:
     finally:
         if obs is not None:
             obs.finish()
+
+
+def cmd_systems(arguments) -> int:
+    """List the registered backends (the differential-fuzz matrix)."""
+    from repro.baselines import SYSTEMS
+    from repro.conformance import PAIRWISE_IMPLICATIONS
+
+    if arguments.json:
+        payload = {
+            "systems": [
+                {"name": system.name, "description": system.description}
+                for system in SYSTEMS.values()
+            ],
+            "implications": [
+                {"premise": premise, "conclusion": conclusion, "level": level}
+                for premise, conclusion, level in PAIRWISE_IMPLICATIONS
+            ],
+        }
+        print(json_module.dumps(payload, indent=2))
+        return 0
+    width = max(len(name) for name in SYSTEMS)
+    print("Registered type systems (use with `repro fuzz --systems NAME`):")
+    for system in SYSTEMS.values():
+        print(f"  {system.name:<{width}}  {system.description}")
+    print("\nDifferential-oracle implications (premise accepts ⇒ conclusion):")
+    for premise, conclusion, level in PAIRWISE_IMPLICATIONS:
+        suffix = " (α-equivalent types)" if level == "type" else ""
+        print(f"  {premise} ⇒ {conclusion}{suffix}")
+    return 0
 
 
 def cmd_serve(arguments) -> int:
@@ -696,6 +738,15 @@ def main(argv: list[str] | None = None) -> int:
         help="run only this oracle (repeatable; default: the full battery)",
     )
     p_fuzz.add_argument(
+        "--systems",
+        dest="system",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the differential oracle to this backend "
+        "(repeatable; default: every registered system — see `repro systems`)",
+    )
+    p_fuzz.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -827,6 +878,13 @@ def main(argv: list[str] | None = None) -> int:
     p_loadgen.add_argument(
         "--json", action="store_true", help="emit the structured report"
     )
+    p_systems = sub.add_parser(
+        "systems",
+        help="list the registered type-system backends and oracle implications",
+    )
+    p_systems.add_argument(
+        "--json", action="store_true", help="emit the structured listing"
+    )
     sub.add_parser("figure2", help="regenerate Figure 2")
     sub.add_parser("repl", help="interactive loop")
 
@@ -864,6 +922,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if arguments.command == "fuzz":
         return cmd_fuzz(arguments, obs=_Obs.from_args(arguments))
+    if arguments.command == "systems":
+        return cmd_systems(arguments)
     if arguments.command == "serve":
         return cmd_serve(arguments)
     if arguments.command == "loadgen":

@@ -1,13 +1,23 @@
 """Executable baseline type systems for the Figure 2 comparison."""
 
+from repro.baselines.freezeml import FreezeMLError, FreezeMLInferencer, freezeml_infer
 from repro.baselines.hm import HMError, HMInferencer, hm_infer
 from repro.baselines.hmf import HMFError, HMFInferencer, hmf_infer
+from repro.baselines.quicklook import QuickLookError, QuickLookInferencer, quicklook_infer
 from repro.baselines.rankn import RankNError, RankNInferencer, rankn_infer
-from repro.baselines.registry import SYSTEMS, System, get_system
+from repro.baselines.registry import (
+    Outcome,
+    SYSTEMS,
+    System,
+    SystemOutcome,
+    get_system,
+)
 
 __all__ = [
+    "FreezeMLError", "FreezeMLInferencer", "freezeml_infer",
     "HMError", "HMInferencer", "hm_infer",
     "HMFError", "HMFInferencer", "hmf_infer",
+    "QuickLookError", "QuickLookInferencer", "quicklook_infer",
     "RankNError", "RankNInferencer", "rankn_infer",
-    "SYSTEMS", "System", "get_system",
+    "Outcome", "SYSTEMS", "System", "SystemOutcome", "get_system",
 ]

@@ -60,8 +60,9 @@ class HMInferencer:
     own expressiveness.
     """
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, budget=None) -> None:
         self.env = env
+        self.budget = budget
         self.supply = NameSupply("w")
         self.subst: dict[UVar, Type] = {}
 
@@ -80,7 +81,9 @@ class HMInferencer:
             return Forall(type_.binders, self.zonk(type_.body), type_.context)
         return type_
 
-    def unify(self, left: Type, right: Type) -> None:
+    def unify(self, left: Type, right: Type, depth: int = 0) -> None:
+        if self.budget is not None:
+            self.budget.check_unify_depth(depth, left, right)
         left, right = self.zonk(left), self.zonk(right)
         if left == right:
             return
@@ -90,7 +93,7 @@ class HMInferencer:
             self.subst[left] = right
             return
         if isinstance(right, UVar):
-            self.unify(right, left)
+            self.unify(right, left, depth)
             return
         if (
             isinstance(left, TCon)
@@ -99,7 +102,7 @@ class HMInferencer:
             and len(left.args) == len(right.args)
         ):
             for left_argument, right_argument in zip(left.args, right.args):
-                self.unify(left_argument, right_argument)
+                self.unify(left_argument, right_argument, depth + 1)
             return
         raise UnificationError(left, right)
 
@@ -137,6 +140,8 @@ class HMInferencer:
 
     def infer(self, term: Term) -> Type:
         """The principal rank-1 type of a term (generalised)."""
+        if self.budget is not None:
+            self.budget.start()
         self.subst = {}
         local: dict[str, Type] = {}
         type_ = self._infer(term, local)

@@ -90,9 +90,10 @@ class HMFError(TypeError_):
 class HMFInferencer:
     """One HMF inference engine over the shared ASTs."""
 
-    def __init__(self, env: Environment, nary: bool = False) -> None:
+    def __init__(self, env: Environment, nary: bool = False, budget=None) -> None:
         self.env = env
         self.nary = nary
+        self.budget = budget
         self.supply = NameSupply("h")
         self.subst: dict[UVar, Type] = {}
         self.skolems: set[str] = set()
@@ -118,7 +119,9 @@ class HMFInferencer:
 
     # -- unification ------------------------------------------------------
 
-    def unify(self, left: Type, right: Type) -> None:
+    def unify(self, left: Type, right: Type, depth: int = 0) -> None:
+        if self.budget is not None:
+            self.budget.check_unify_depth(depth, left, right)
         left, right = self.zonk(left), self.zonk(right)
         if left == right:
             return
@@ -135,7 +138,7 @@ class HMFInferencer:
             and len(left.args) == len(right.args)
         ):
             for left_argument, right_argument in zip(left.args, right.args):
-                self.unify(left_argument, right_argument)
+                self.unify(left_argument, right_argument, depth + 1)
             return
         if isinstance(left, Forall) and isinstance(right, Forall):
             if not alpha_equal(left, right):
@@ -251,6 +254,8 @@ class HMFInferencer:
 
     def infer(self, term: Term) -> Type:
         """The HMF type of a term (generalised, canonically renamed)."""
+        if self.budget is not None:
+            self.budget.start()
         self.subst = {}
         local: dict[str, Type] = {}
         type_ = self._infer(term, local)

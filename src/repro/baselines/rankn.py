@@ -65,8 +65,9 @@ class RankNError(TypeError_):
 class RankNInferencer:
     """Bidirectional predicative arbitrary-rank inference."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, budget=None) -> None:
         self.env = env
+        self.budget = budget
         self.supply = NameSupply("r")
         self.subst: dict[UVar, Type] = {}
         self.skolems: set[str] = set()
@@ -86,7 +87,9 @@ class RankNInferencer:
             return Forall(type_.binders, self.zonk(type_.body), type_.context)
         return type_
 
-    def unify(self, left: Type, right: Type) -> None:
+    def unify(self, left: Type, right: Type, depth: int = 0) -> None:
+        if self.budget is not None:
+            self.budget.check_unify_depth(depth, left, right)
         left, right = self.zonk(left), self.zonk(right)
         if left == right:
             return
@@ -103,7 +106,7 @@ class RankNInferencer:
             and len(left.args) == len(right.args)
         ):
             for left_argument, right_argument in zip(left.args, right.args):
-                self.unify(left_argument, right_argument)
+                self.unify(left_argument, right_argument, depth + 1)
             return
         raise UnificationError(left, right)
 
@@ -197,6 +200,8 @@ class RankNInferencer:
 
     def infer(self, term: Term) -> Type:
         """The inferred σ-type of a term."""
+        if self.budget is not None:
+            self.budget.start()
         self.subst = {}
         local: dict[str, Type] = {}
         rho = self._infer_rho(term, local)

@@ -6,8 +6,10 @@ terms — most of them well-typed by construction, grown backward from a
 goal type against the Figure-2 prelude — and checks every one against
 the oracle battery (:mod:`repro.conformance.oracles`): never-crash,
 printer/parser round-trip, declarative-replay soundness, System F
-elaboration + erasure behaviour, HM agreement on the λ→ fragment, and
-metamorphic stability under small program transformations.  Violations
+elaboration + erasure behaviour, HM agreement on the λ→ fragment,
+metamorphic stability under small program transformations, and
+cross-backend differential agreement over the registered system matrix
+(``--systems`` restricts which backends take part).  Violations
 are greedily shrunk (:mod:`repro.conformance.shrink`) and persisted as
 replayable ``.gi`` corpus files (:mod:`repro.conformance.corpus`) that
 ``repro batch`` and the regression suite both consume.
@@ -34,6 +36,7 @@ from repro.conformance.metamorphic import TRANSFORMS, applicable_transforms
 from repro.conformance.oracles import (
     DEFAULT_ORACLES,
     ORACLES,
+    PAIRWISE_IMPLICATIONS,
     OracleContext,
     Violation,
     run_battery,
@@ -66,6 +69,7 @@ __all__ = [
     "MODE_WELL_TYPED",
     "ORACLES",
     "OracleContext",
+    "PAIRWISE_IMPLICATIONS",
     "ShrinkResult",
     "TRANSFORMS",
     "TermGenerator",

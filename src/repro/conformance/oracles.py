@@ -25,6 +25,14 @@ them:
 ``metamorphic``  the applicable type-preserving transforms of
                  :mod:`repro.conformance.metamorphic` preserve
                  typeability and the inferred type.
+``differential`` cross-backend agreement over the whole system matrix,
+                 phrased as the pairwise implications in
+                 :data:`PAIRWISE_IMPLICATIONS` (HM accepts ⇒ every
+                 generalising backend accepts at the same type; RankN
+                 accepts ⇒ Quick Look accepts at the same type; GI
+                 accepts ⇒ Quick Look accepts), plus crash containment
+                 for every backend.  Unavailable outcomes (budget,
+                 recursion depth) are vacuous, never disagreements.
 ==============  =====================================================
 
 One inference run is shared by all oracles through
@@ -37,9 +45,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.hm import HMInferencer
+from repro.baselines.registry import SYSTEMS, Outcome, SystemOutcome
 from repro.core.declarative import verify_inference
 from repro.core.env import Environment
-from repro.core.errors import GIError, InternalError
+from repro.core.errors import BudgetExceededError, GIError, InternalError
 from repro.core.infer import InferenceResult, Inferencer, InferOptions
 from repro.core.terms import Term
 from repro.core.types import alpha_equal, rename_canonical
@@ -71,12 +80,15 @@ class OracleContext:
         budget=None,
         faults=None,
         options: InferOptions | None = None,
+        systems: tuple[str, ...] | None = None,
     ) -> None:
         self.env = env
         self.budget = budget
         self.faults = faults
         self.options = options
+        self.systems = tuple(systems) if systems is not None else tuple(SYSTEMS)
         self._outcomes: dict[Term, tuple[InferenceResult | None, GIError | None]] = {}
+        self._system_outcomes: dict[tuple[str, Term], SystemOutcome] = {}
 
     def outcome(self, term: Term) -> tuple[InferenceResult | None, GIError | None]:
         """``(result, None)`` on acceptance, ``(None, error)`` on any
@@ -92,6 +104,42 @@ class OracleContext:
         except GIError as error:
             outcome = (None, error)
         self._outcomes[term] = outcome
+        return outcome
+
+    def system_outcome(self, name: str, term: Term) -> SystemOutcome:
+        """The three-valued outcome of one registered system on one term
+        (cached).  ``GI`` reuses :meth:`outcome`, so the fault-armed,
+        option-carrying inference run is shared with the other oracles
+        rather than repeated through the registry."""
+        cached = self._system_outcomes.get((name, term))
+        if cached is not None:
+            return cached
+        if name == "GI":
+            result, error = self.outcome(term)
+            if result is not None:
+                outcome = SystemOutcome(Outcome.ACCEPT, type_=result.type_)
+            elif isinstance(error, InternalError):
+                outcome = SystemOutcome(
+                    Outcome.UNAVAILABLE,
+                    error=type(error).__name__,
+                    detail=str(error),
+                    crashed=True,
+                )
+            elif isinstance(error, BudgetExceededError):
+                outcome = SystemOutcome(
+                    Outcome.UNAVAILABLE,
+                    error=type(error).__name__,
+                    detail=str(error),
+                )
+            else:
+                outcome = SystemOutcome(
+                    Outcome.REJECT,
+                    error=type(error).__name__,
+                    detail=str(error),
+                )
+        else:
+            outcome = SYSTEMS[name].run(term, self.env, budget=self.budget)
+        self._system_outcomes[(name, term)] = outcome
         return outcome
 
 
@@ -198,6 +246,11 @@ def oracle_systemf(ctx: OracleContext, term: Term) -> Violation | None:
 
 
 def oracle_hm(ctx: OracleContext, term: Term) -> Violation | None:
+    if not _annotation_free(term):
+        # Theorem 3.1 quantifies over the unannotated λ→ fragment; on
+        # annotated terms HM instantiates the annotation where GI keeps
+        # (and scopes) its σ, so the types legitimately diverge.
+        return None
     try:
         hm_type = HMInferencer(ctx.env).infer(term)
     except GIError:
@@ -206,6 +259,11 @@ def oracle_hm(ctx: OracleContext, term: Term) -> Violation | None:
         return None  # the baseline has no budget; deep terms are its limit
     result, error = ctx.outcome(term)
     if result is None:
+        if isinstance(error, (BudgetExceededError, InternalError)):
+            # GI established nothing about the term (the crash oracle
+            # already reports internal errors); a budget blowup is not
+            # a rejection and must not read as a disagreement.
+            return None
         return Violation(
             "hm",
             f"HM accepts with `{hm_type}` but GI rejects: {error} "
@@ -248,6 +306,120 @@ def oracle_metamorphic(ctx: OracleContext, term: Term) -> Violation | None:
     return None
 
 
+#: Cross-backend implications the differential oracle enforces:
+#: ``(premise, conclusion, level)`` — when the premise system accepts a
+#: term, the conclusion system must accept it too; at ``"type"`` level
+#: the inferred σ-types must additionally be α-equivalent.
+#:
+#: * HM ⇒ everything that generalises ``let``: a rank-1 HM-typeable term
+#:   sits in the common conservative fragment of HMF (both argument
+#:   orders), predicative RankN, FreezeML, and Quick Look, and each of
+#:   them infers the HM principal type.  HM ⇒ GI is deliberately *not*
+#:   here: GI's ``let`` does not generalise (§3.5), so let-polymorphic
+#:   HM terms are honest counterexamples — the legacy ``hm`` oracle
+#:   keeps the annotated Theorem 3.1 role for that pair.
+#: * RankN ⇒ QuickLook: Quick Look is RankN plus extra quick-look
+#:   commits, so every RankN derivation survives verbatim.  Acceptance
+#:   holds on all terms; the α-equivalence half quantifies over the
+#:   annotation-free language only — an annotation is exactly where a
+#:   σ-argument reaches a spine, and Quick Look commits it
+#:   impredicatively (``single (id :: ∀a. a → a)`` is ``[∀a. a → a]``)
+#:   where RankN instantiates (``∀a. [a → a]``).
+#: * GI ⇒ QuickLook: on the *guarded* (annotation-free) fragment, every
+#:   guarded instantiation GI performs is a quick-look-committable one
+#:   (acceptance only — the systems pick different but equally valid
+#:   σ-types on some terms).
+#:
+#: HMF ⇄ HMF-N appears in neither direction: the measured Figure-2
+#: deviation sets show the argument orders are incomparable.
+PAIRWISE_IMPLICATIONS: tuple[tuple[str, str, str], ...] = (
+    ("HM", "HMF", "type"),
+    ("HM", "HMF-N", "type"),
+    ("HM", "RankN", "type"),
+    ("HM", "FreezeML", "type"),
+    ("HM", "QuickLook", "type"),
+    ("RankN", "QuickLook", "type"),
+    ("GI", "QuickLook", "accepts"),
+)
+
+
+def oracle_differential(ctx: OracleContext, term: Term) -> Violation | None:
+    """Cross-backend crash containment plus the pairwise implications,
+    restricted to ``ctx.systems``.  Unavailable outcomes are vacuous."""
+    for name in ctx.systems:
+        outcome = ctx.system_outcome(name, term)
+        if outcome.crashed:
+            return Violation(
+                f"differential:{name}",
+                f"backend `{name}` crashed instead of deciding the term: "
+                f"{outcome.detail}",
+                outcome.error,
+            )
+    for premise, conclusion, level in PAIRWISE_IMPLICATIONS:
+        if premise not in ctx.systems or conclusion not in ctx.systems:
+            continue
+        if premise in ("HM", "GI") and not _annotation_free(term):
+            # The theorems behind the HM and GI implications quantify
+            # over the *unannotated* language: each backend gives `::`
+            # its own checking semantics (HMF skolemises where HM
+            # instantiates; GI scopes annotation variables and keeps
+            # the annotated σ where RankN-style systems instantiate),
+            # so annotated terms are outside the implications' scope.
+            continue
+        premise_outcome = ctx.system_outcome(premise, term)
+        if not premise_outcome.accepted:
+            continue
+        conclusion_outcome = ctx.system_outcome(conclusion, term)
+        if not conclusion_outcome.available:
+            continue
+        if conclusion_outcome.rejected:
+            return Violation(
+                f"differential:{premise}=>{conclusion}",
+                f"`{premise}` accepts with `{premise_outcome.type_}` but "
+                f"`{conclusion}` rejects: {conclusion_outcome.detail}",
+                conclusion_outcome.error,
+            )
+        if level == "type" and not _annotation_free(term):
+            # Acceptance is settled above; the type-equality half only
+            # quantifies over the annotation-free language (Quick Look
+            # commits annotated σ-arguments impredicatively where the
+            # predicative systems instantiate them).
+            continue
+        if level == "type" and not alpha_equal(
+            rename_canonical(premise_outcome.type_),
+            rename_canonical(conclusion_outcome.type_),
+        ):
+            return Violation(
+                f"differential:{premise}=>{conclusion}",
+                f"`{premise}` infers `{rename_canonical(premise_outcome.type_)}` "
+                f"but `{conclusion}` infers "
+                f"`{rename_canonical(conclusion_outcome.type_)}`",
+            )
+    return None
+
+
+def _annotation_free(term: Term) -> bool:
+    """Whether the term is in the shared unannotated language the
+    HM-conservativity implications quantify over."""
+    from repro.core.terms import Ann, AnnLam, App, Case, Lam, Let
+
+    if isinstance(term, (Ann, AnnLam)):
+        return False
+    if isinstance(term, App):
+        return _annotation_free(term.head) and all(
+            _annotation_free(argument) for argument in term.args
+        )
+    if isinstance(term, Lam):
+        return _annotation_free(term.body)
+    if isinstance(term, Let):
+        return _annotation_free(term.bound) and _annotation_free(term.body)
+    if isinstance(term, Case):
+        return _annotation_free(term.scrutinee) and all(
+            _annotation_free(alt.rhs) for alt in term.alts
+        )
+    return True
+
+
 #: Registry, in battery order — cheap structural checks first, then the
 #: implication oracles that need an inference result.
 ORACLES: dict[str, object] = {
@@ -257,6 +429,7 @@ ORACLES: dict[str, object] = {
     "systemf": oracle_systemf,
     "hm": oracle_hm,
     "metamorphic": oracle_metamorphic,
+    "differential": oracle_differential,
 }
 
 DEFAULT_ORACLES: tuple[str, ...] = tuple(ORACLES)

@@ -55,6 +55,7 @@ class FuzzConfig:
     seed: int = 0
     count: int = 100
     oracles: tuple[str, ...] = DEFAULT_ORACLES
+    systems: tuple[str, ...] | None = None
     jobs: int = 1
     corpus_dir: Path | None = None
     max_steps: int | None = DEFAULT_MAX_STEPS
@@ -153,7 +154,9 @@ def run_fuzz(
     )
 
     def check_case(case: FuzzCase, budget: Budget | None):
-        ctx = OracleContext(env, budget=budget, faults=config.fault_plan())
+        ctx = OracleContext(
+            env, budget=budget, faults=config.fault_plan(), systems=config.systems
+        )
         violation = None
         for name in config.oracles:
             violation = ORACLES[name](ctx, case.term)
@@ -212,7 +215,10 @@ def _handle_violation(
 
     def still_fails(candidate: Term) -> bool:
         ctx = OracleContext(
-            env, budget=clone_budget(_shrink_budget(config)), faults=config.fault_plan()
+            env,
+            budget=clone_budget(_shrink_budget(config)),
+            faults=config.fault_plan(),
+            systems=config.systems,
         )
         return oracle(ctx, candidate) is not None
 

@@ -135,3 +135,39 @@ def figure2_env() -> Environment:
     """The environment the Figure 2 examples are typed in."""
     env = figure1_env()
     return env.extended("$", parse_type("forall a b. (a -> b) -> a -> b"))
+
+
+#: The executable (measured) columns of the extended backend matrix, in
+#: display order.  :data:`SYSTEMS` above stays the *paper's* column set;
+#: these are the systems this repository actually runs.
+MEASURED_SYSTEMS: tuple[str, ...] = (
+    "GI",
+    "HMF",
+    "HMF-N",
+    "HM",
+    "RankN",
+    "FreezeML",
+    "QuickLook",
+)
+
+
+def measured_matrix(
+    env: Environment | None = None,
+    budget=None,
+    systems: tuple[str, ...] = MEASURED_SYSTEMS,
+):
+    """``{system: {row-key: SystemOutcome}}`` over the Figure-2 rows.
+
+    Each cell is the three-valued outcome of one backend on one row, so
+    renderers can distinguish a rejection from a budget blowup."""
+    from repro.baselines.registry import SYSTEMS as REGISTRY
+
+    if env is None:
+        env = figure2_env()
+    return {
+        name: {
+            example.key: REGISTRY[name].run(example.term, env, budget=budget)
+            for example in FIGURE2
+        }
+        for name in systems
+    }

@@ -6,10 +6,19 @@ from typing import Sequence
 
 CHECK = "✓"
 CROSS = "No"
+UNAVAIL = "?"
 
 
 def mark(accepted: bool) -> str:
     return CHECK if accepted else CROSS
+
+
+def mark_outcome(outcome) -> str:
+    """Render a three-valued :class:`~repro.baselines.SystemOutcome`:
+    accepted, rejected, or unavailable (budget/crash — not a verdict)."""
+    if outcome.accepted:
+        return CHECK
+    return CROSS if outcome.rejected else UNAVAIL
 
 
 def render_table(

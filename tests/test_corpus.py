@@ -10,13 +10,25 @@ from pathlib import Path
 
 import pytest
 
+from repro.baselines import SYSTEMS
 from repro.conformance import OracleContext, load_corpus, run_battery
+from repro.conformance.oracles import PAIRWISE_IMPLICATIONS, _annotation_free
+from repro.core.types import alpha_equal, rename_canonical
 from repro.evalsuite.figure2 import figure2_env
 from repro.robustness import read_batch_file
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
 
 ENTRIES = load_corpus(CORPUS_DIR)
+
+ENV = figure2_env()
+
+
+def expected_divergences(entry) -> set[str]:
+    """Backend pairs a corpus file declares as legitimately divergent,
+    from an ``-- expected-divergence: HM=>QuickLook, ...`` header."""
+    raw = entry.metadata.get("expected-divergence", "")
+    return {pair.strip() for pair in raw.split(",") if pair.strip()}
 
 
 def test_corpus_exists_and_loads():
@@ -43,3 +55,51 @@ def test_corpus_replays_through_batch_pipeline():
 def test_corpus_files_record_their_oracle():
     for entry in ENTRIES:
         assert "oracle" in entry.metadata, entry.path.name
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.path.stem for entry in ENTRIES]
+)
+@pytest.mark.parametrize("system_name", tuple(SYSTEMS))
+def test_corpus_case_crashes_no_backend(system_name, entry):
+    """Every backend must *decide* (or cleanly run out of budget on)
+    every corpus term — no internal errors on past counterexamples."""
+    outcome = SYSTEMS[system_name].run(entry.term, ENV)
+    assert not outcome.crashed, (
+        f"{entry.path.name}: {system_name} crashed: {outcome.detail}"
+    )
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.path.stem for entry in ENTRIES]
+)
+def test_corpus_case_cross_backend_agreement(entry):
+    """The pairwise implication matrix holds on every corpus term,
+    except for pairs the file itself annotates as expected divergence.
+
+    Deliberately stricter than ``oracle_differential``: the oracle skips
+    type equality on annotated terms wholesale, while here each corpus
+    file must name the diverging pair explicitly — a legitimate
+    divergence is a recorded finding, not a silent pass."""
+    waived = expected_divergences(entry)
+    outcomes = {name: SYSTEMS[name].run(entry.term, ENV) for name in SYSTEMS}
+    for premise, conclusion, level in PAIRWISE_IMPLICATIONS:
+        label = f"{premise}=>{conclusion}"
+        if label in waived:
+            continue
+        if premise in ("HM", "GI") and not _annotation_free(entry.term):
+            continue
+        first, second = outcomes[premise], outcomes[conclusion]
+        if not first.accepted or not second.available:
+            continue
+        assert second.accepted, (
+            f"{entry.path.name}: {label} violated — "
+            f"{conclusion} rejected: {second.detail}"
+        )
+        if level == "type":
+            assert alpha_equal(
+                rename_canonical(first.type_), rename_canonical(second.type_)
+            ), (
+                f"{entry.path.name}: {label} types diverge — "
+                f"{first.type_} vs {second.type_}"
+            )

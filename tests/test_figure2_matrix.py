@@ -11,8 +11,9 @@
 """
 
 from repro.baselines import SYSTEMS
-from repro.evalsuite.figure2 import FIGURE2, figure2_env
-from repro.evalsuite.report import mark, render_table
+from repro.core.types import alpha_equal, rename_canonical
+from repro.evalsuite.figure2 import FIGURE2, MEASURED_SYSTEMS, figure2_env, measured_matrix
+from repro.evalsuite.report import mark, mark_outcome, render_table
 
 ENV = figure2_env()
 
@@ -20,6 +21,16 @@ ENV = figure2_env()
 # published column (see EXPERIMENTS.md for the analysis).
 HMF_PLAIN_KNOWN_DEVIATIONS = {"D2", "D5"}
 HMF_NARY_KNOWN_DEVIATIONS = {"C5", "C6", "E2"}
+
+# FreezeML (no freeze markers in the shared syntax beyond annotations)
+# accepts exactly the rows typeable with eager ML instantiation plus
+# explicitly-annotated binders; Quick Look rejects only the three rows
+# every system rejects modulo B2/E1-style eta-sensitivity.
+FREEZEML_ACCEPTED = {
+    "A1", "A2", "A3", "A4", "A5", "A6", "A7",
+    "C1", "C2", "C3", "C4", "C7", "C10",
+}
+QUICKLOOK_REJECTED = {"B1", "B2", "E1"}
 
 
 def measured(system_name: str) -> dict[str, bool]:
@@ -82,26 +93,86 @@ def test_rankn_is_between_hm_and_gi():
             assert rankn[ex.key], f"RankN rejects HM-typeable {ex.key}"
 
 
+def test_freezeml_accepts_exactly_the_expected_rows():
+    results = measured("FreezeML")
+    accepted = {key for key, ok in results.items() if ok}
+    assert accepted == FREEZEML_ACCEPTED, (
+        f"FreezeML acceptance set changed: {sorted(accepted)}"
+    )
+
+
+def test_freezeml_accepts_subset_of_gi():
+    """Without freeze markers, FreezeML's fragment of the shared syntax is
+    conservative over GI on Figure 2."""
+    freezeml = measured("FreezeML")
+    gi = measured("GI")
+    for ex in FIGURE2:
+        if freezeml[ex.key]:
+            assert gi[ex.key], f"FreezeML accepts GI-rejected {ex.key}"
+
+
+def test_quicklook_rejects_exactly_the_expected_rows():
+    results = measured("QuickLook")
+    rejected = {key for key, ok in results.items() if not ok}
+    assert rejected == QUICKLOOK_REJECTED, (
+        f"QuickLook rejection set changed: {sorted(rejected)}"
+    )
+
+
+def test_gi_accepts_subset_of_quicklook():
+    """The guardedness theorem's empirical face on Figure 2: every
+    GI-accepted example is Quick-Look-accepted."""
+    gi = measured("GI")
+    quicklook = measured("QuickLook")
+    for ex in FIGURE2:
+        if gi[ex.key]:
+            assert quicklook[ex.key], f"QuickLook rejects GI-typeable {ex.key}"
+
+
+def test_rankn_accepts_subset_of_quicklook_with_equal_types():
+    """Quick Look is conservative over its RankN base: same acceptances
+    and α-equivalent types wherever RankN succeeds."""
+    rankn = SYSTEMS["RankN"]
+    quicklook = SYSTEMS["QuickLook"]
+    for ex in FIGURE2:
+        base = rankn.run(ex.term, ENV)
+        if not base.accepted:
+            continue
+        extended = quicklook.run(ex.term, ENV)
+        assert extended.accepted, f"QuickLook rejects RankN-typeable {ex.key}"
+        assert alpha_equal(
+            rename_canonical(base.type_), rename_canonical(extended.type_)
+        ), f"{ex.key}: RankN {base.type_} vs QuickLook {extended.type_}"
+
+
+def test_measured_matrix_covers_all_backends_without_crashes():
+    matrix = measured_matrix(ENV)
+    assert set(matrix) == set(MEASURED_SYSTEMS)
+    for name, outcomes in matrix.items():
+        assert set(outcomes) == {ex.key for ex in FIGURE2}
+        crashed = [key for key, out in outcomes.items() if out.crashed]
+        assert not crashed, f"{name} crashed on {crashed}"
+        marks = {mark_outcome(out) for out in outcomes.values()}
+        assert marks <= {"✓", "No"}, f"{name} has unavailable rows"
+
+
 def test_render_full_table():
     """The regenerated Figure 2 renders without error and marks reference
     columns as such."""
-    headers = ["id", "example", "GI*", "HMF*", "HMF-N*", "HM*", "RankN*",
-               "GI", "MLF", "HMF", "FPH", "HML"]
+    headers = (
+        ["id", "example"]
+        + [f"{name}*" for name in MEASURED_SYSTEMS]
+        + ["GI", "MLF", "HMF", "FPH", "HML"]
+    )
     rows = []
-    cache = {name: measured(name) for name in ("GI", "HMF", "HMF-N", "HM", "RankN")}
+    matrix = measured_matrix(ENV)
     for ex in FIGURE2:
         rows.append(
-            [
-                ex.key,
-                ex.source[:30],
-                mark(cache["GI"][ex.key]),
-                mark(cache["HMF"][ex.key]),
-                mark(cache["HMF-N"][ex.key]),
-                mark(cache["HM"][ex.key]),
-                mark(cache["RankN"][ex.key]),
-            ]
+            [ex.key, ex.source[:30]]
+            + [mark_outcome(matrix[name][ex.key]) for name in MEASURED_SYSTEMS]
             + [mark(ex.expected[s]) for s in ("GI", "MLF", "HMF", "FPH", "HML")]
         )
     table = render_table(headers, rows, title="Figure 2 (measured* vs paper)")
     assert "A1" in table and "E3" in table
+    assert "FreezeML*" in table and "QuickLook*" in table
     assert table.count("\n") >= 33

@@ -1,0 +1,108 @@
+"""Quick Look backend unit tests (ICFP 2020, "A quick look at
+impredicativity").
+
+RankN bidirectional inference plus a per-spine quick-look pass:
+instantiation variables collected over a whole application spine may be
+committed to σ-types when the σ is manifestly the only choice (guarded
+under a type constructor, or not ∀-headed).  Everything outside spines
+behaves exactly like the RankN baseline.
+"""
+
+import pytest
+
+from repro.baselines import (
+    QuickLookError,
+    QuickLookInferencer,
+    RankNInferencer,
+    quicklook_infer,
+)
+from repro.core import Inferencer
+from repro.core.errors import GIError
+from repro.core.types import alpha_equal, rename_canonical
+from repro.evalsuite.figure2 import FIGURE2, figure2_env
+from repro.syntax import parse_term
+
+ENV = figure2_env()
+
+
+def ql(source: str) -> str:
+    return str(quicklook_infer(parse_term(source), ENV))
+
+
+class TestRankNBase:
+    def test_higher_rank_checking(self):
+        assert (
+            ql(r"(\f -> pair (f 1) (f True) :: (forall a. a -> a) -> (Int, Bool))")
+            == "(forall a. a -> a) -> (Int, Bool)"
+        )
+
+    def test_poly_lambda_argument(self):
+        assert ql(r"poly (\x -> x)") == "(Int, Bool)"
+
+    def test_skolem_escape(self):
+        with pytest.raises(GIError):
+            ql(r"\y -> (\x -> y :: forall a. a -> a)")
+
+    def test_ungeneralised_lambda_body_stays_mono(self):
+        with pytest.raises(GIError):
+            ql(r"\f -> pair (f 1) (f True)")
+
+
+class TestQuickLook:
+    def test_guarded_commit(self):
+        # C1-C3: κ committed to ∀a.a→a because [κ] guards it.
+        assert ql("head ids") == "forall a. a -> a"
+        assert ql("tail ids") == "[forall a. a -> a]"
+
+    def test_unguarded_forall_headed_no_commit(self):
+        # `single id`: κ appears bare as the result [κ]… guarded, but the
+        # argument σ comes from eager instantiation, so it stays
+        # predicative exactly like RankN.
+        assert ql("single id") == "forall a. [a -> a]"
+
+    def test_impredicative_apply(self):
+        # A5/A12: the rank-2 function type of the head makes the σ
+        # instantiation manifest.
+        assert ql("id auto") == "(forall a. a -> a) -> (forall b. b -> b)"
+        assert ql(r"id poly (\x -> x)") == "(Int, Bool)"
+
+    def test_nested_spine_commit(self):
+        # C10: the inner spine's σ-result flows into the outer spine's
+        # instantiation variable.
+        assert ql("map head (single ids)") == "[forall a. a -> a]"
+
+    def test_b_group_still_rejected(self):
+        for source in (r"\f -> pair (f 1) (f True)", r"\xs -> poly (head xs)"):
+            with pytest.raises(GIError):
+                ql(source)
+
+    def test_annotated_sigma_commits(self):
+        assert ql("single (id :: forall a. a -> a)") == "[forall a. a -> a]"
+
+
+class TestConservativity:
+    def test_rankn_acceptances_survive_with_equal_types(self):
+        rankn = RankNInferencer(ENV)
+        for example in FIGURE2:
+            try:
+                base = rankn.infer(example.term)
+            except GIError:
+                continue
+            extended = QuickLookInferencer(ENV).infer(example.term)
+            assert alpha_equal(
+                rename_canonical(base), rename_canonical(extended)
+            ), example.key
+
+    def test_gi_acceptances_survive(self):
+        gi = Inferencer(ENV)
+        for example in FIGURE2:
+            if gi.accepts(example.term):
+                QuickLookInferencer(ENV).infer(example.term)  # must not raise
+
+
+class TestDeterminism:
+    def test_two_runs_agree(self):
+        source = "map head (single ids)"
+        first = str(QuickLookInferencer(ENV).infer(parse_term(source)))
+        second = str(QuickLookInferencer(ENV).infer(parse_term(source)))
+        assert first == second == "[forall a. a -> a]"
