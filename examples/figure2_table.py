@@ -4,10 +4,13 @@
 Measured columns (marked *) come from the systems implemented in this
 repository; MLF/FPH/HML columns are the paper's reference data.
 
-Run:  python examples/figure2_table.py [--types]
+Run:  python examples/figure2_table.py [--types] [--policies]
 
 With ``--types`` the table also prints the type GI infers for each
 accepted example, against the type the paper states where available.
+With ``--policies`` it appends the instantiation-policy grid: the
+ported GHC tc211 corpus under every eager/lazy × deep/shallow policy,
+for each backend with a policy axis.
 """
 
 import sys
@@ -15,10 +18,10 @@ import sys
 from repro.core import Inferencer
 from repro.core.errors import GIError
 from repro.evalsuite.figure2 import FIGURE2, MEASURED_SYSTEMS, figure2_env, measured_matrix
-from repro.evalsuite.report import mark, mark_outcome, render_table
+from repro.evalsuite.report import mark, mark_outcome, render_policy_matrix, render_table
 
 
-def main(show_types: bool = False) -> None:
+def main(show_types: bool = False, show_policies: bool = False) -> None:
     env = figure2_env()
     measured = measured_matrix(env)
 
@@ -55,6 +58,17 @@ def main(show_types: bool = False) -> None:
             suffix = f"   [paper: {stated}]" if stated else ""
             print(f"  {ex.key:4s} {ex.source[:32]:34s} : {inferred}{suffix}")
 
+    if show_policies:
+        from repro.baselines.registry import POLICY_SYSTEMS
+        from repro.evalsuite.policies import TC211, policy_matrix
+
+        print("\nInstantiation-policy grid — GHC tc211 corpus "
+              "(T6 flips under lazy, T7 under deep):\n")
+        print(render_policy_matrix(policy_matrix(env), TC211, POLICY_SYSTEMS))
+
 
 if __name__ == "__main__":
-    main(show_types="--types" in sys.argv)
+    main(
+        show_types="--types" in sys.argv,
+        show_policies="--policies" in sys.argv,
+    )

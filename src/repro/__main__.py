@@ -38,6 +38,7 @@ import sys
 
 from repro.core import Inferencer
 from repro.core.errors import GIError
+from repro.core.infer import InferOptions
 from repro.core.terms import Ann
 from repro.interp import run as interp_run
 from repro.syntax import parse_term, parse_type
@@ -116,12 +117,42 @@ class _Obs:
             print(section)
 
 
-def cmd_infer(source: str, obs: _Obs | None = None) -> int:
+def _resolve_policy(name: str):
+    """Parse a ``--policy`` value; print the hint and return ``None`` on
+    an unknown name (callers exit 2, mirroring the `--systems` path)."""
+    from repro.core.policy import POLICY_NAMES, parse_policy
+
+    try:
+        return parse_policy(name)
+    except ValueError:
+        print(
+            f"error: unknown policy {name!r} "
+            f"(available: {', '.join(POLICY_NAMES)})",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _add_policy_flag(parser) -> None:
+    parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="NAME",
+        help="instantiation policy: eager|lazy crossed with deep|shallow "
+        "(eager-shallow, eager-deep, lazy-shallow, lazy-deep; "
+        "default: eager-shallow, the paper's discipline)",
+    )
+
+
+def cmd_infer(source: str, policy=None, obs: _Obs | None = None) -> int:
     tracer = obs.tracer if obs is not None else None
+    options = InferOptions(policy=policy) if policy is not None else None
     code = 0
     try:
         try:
-            result = Inferencer(figure2_env(), tracer=tracer).infer(parse_term(source))
+            result = Inferencer(
+                figure2_env(), options=options, tracer=tracer
+            ).infer(parse_term(source))
             print(result.type_)
         except GIError as error:
             print(f"type error: {error}", file=sys.stderr)
@@ -190,6 +221,7 @@ def cmd_batch(
     as_json: bool,
     jobs: int,
     seed: int | None = None,
+    policy=None,
     obs: _Obs | None = None,
 ) -> int:
     import signal as signal_module
@@ -201,6 +233,9 @@ def cmd_batch(
         sources = read_batch_file(path)
     except OSError as error:
         print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:  # a bad `-- policy:` header in an input file
+        print(f"error: {error}", file=sys.stderr)
         return 2
     budget = Budget(
         max_solver_steps=max_steps,
@@ -226,6 +261,7 @@ def cmd_batch(
             budget=budget,
             jobs=jobs,
             seed=seed,
+            options=InferOptions(policy=policy) if policy is not None else None,
             tracer=obs.tracer if obs is not None else None,
             cancel=cancel,
         )
@@ -334,11 +370,17 @@ def cmd_fuzz(arguments, obs: _Obs | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    policy = None
+    if arguments.policy is not None:
+        policy = _resolve_policy(arguments.policy)
+        if policy is None:
+            return 2
     config = FuzzConfig(
         seed=arguments.seed,
         count=arguments.count,
         oracles=oracles,
         systems=systems,
+        **({"policy": policy.name} if policy is not None else {}),
         jobs=arguments.jobs,
         corpus_dir=Path(arguments.corpus) if arguments.corpus else None,
         fault_step=arguments.fault_step,
@@ -523,6 +565,8 @@ def cmd_trace(path: str, explain: bool, validate: bool) -> int:
 _REPL_HELP = (
     "commands: :t <e> show a type · :r <e> run · :load <file> check a module "
     "and bring its bindings into scope · :browse list bindings · "
+    ":set policy <name> switch the instantiation policy "
+    "(:set policy shows the current one) · "
     ":trace on/off span trees per expression · :stats session metrics · :q quit"
 )
 
@@ -586,6 +630,29 @@ def cmd_repl() -> int:
                 for name in names:
                     origin = " (loaded)" if name in loaded else ""
                     print(f"{name} :: {gi.env.lookup(name)}{origin}")
+            elif line == ":set policy" or line.startswith(":set policy "):
+                from dataclasses import replace as dc_replace
+
+                from repro.core.policy import POLICY_NAMES, parse_policy
+
+                name = line[len(":set policy") :].strip()
+                if not name:
+                    print(f"policy: {gi.options.policy}")
+                else:
+                    try:
+                        new_policy = parse_policy(name)
+                    except ValueError:
+                        print(
+                            f"unknown policy `{name}` "
+                            f"(available: {', '.join(POLICY_NAMES)})"
+                        )
+                    else:
+                        gi = Inferencer(
+                            gi.env,
+                            gi.instances,
+                            dc_replace(gi.options, policy=new_policy),
+                        )
+                        print(f"policy: {new_policy}")
             elif line in (":trace on", ":trace off", ":trace"):
                 trace_on = not trace_on if line == ":trace" else line == ":trace on"
                 print(f"tracing {'on' if trace_on else 'off'}")
@@ -646,6 +713,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_infer = sub.add_parser("infer", help="infer the principal type")
     p_infer.add_argument("expr")
+    _add_policy_flag(p_infer)
     _add_observability_flags(p_infer, explain=True)
     p_check = sub.add_parser("check", help="check against a signature")
     p_check.add_argument("expr")
@@ -685,6 +753,7 @@ def main(argv: list[str] | None = None) -> int:
         "(reproducible fault-injection sweep; forces --jobs 1; the seed is "
         "recorded in every diagnostic)",
     )
+    _add_policy_flag(p_batch)
     _add_observability_flags(p_batch)
     p_module = sub.add_parser(
         "module",
@@ -774,6 +843,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="arm an injected unifier fault at depth D for every case",
     )
+    _add_policy_flag(p_fuzz)
     _add_observability_flags(p_fuzz)
     p_trace = sub.add_parser(
         "trace",
@@ -889,8 +959,13 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("repl", help="interactive loop")
 
     arguments = parser.parse_args(argv)
+    policy = None
+    if getattr(arguments, "policy", None) is not None:
+        policy = _resolve_policy(arguments.policy)
+        if policy is None:
+            return 2
     if arguments.command == "infer":
-        return cmd_infer(arguments.expr, obs=_Obs.from_args(arguments))
+        return cmd_infer(arguments.expr, policy=policy, obs=_Obs.from_args(arguments))
     if arguments.command == "check":
         return cmd_check(arguments.expr, arguments.signature)
     if arguments.command == "run":
@@ -906,6 +981,7 @@ def main(argv: list[str] | None = None) -> int:
             arguments.json,
             arguments.jobs,
             seed=arguments.seed,
+            policy=policy,
             obs=_Obs.from_args(arguments),
         )
     if arguments.command == "module":

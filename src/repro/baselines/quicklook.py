@@ -87,11 +87,22 @@ class QuickLookError(TypeError_):
 
 
 class QuickLookInferencer:
-    """Bidirectional predicative inference + the quick-look spine pass."""
+    """Bidirectional predicative inference + the quick-look spine pass.
 
-    def __init__(self, env: Environment, budget=None) -> None:
+    ``policy`` (an :class:`~repro.core.policy.InstantiationPolicy`, or
+    ``None`` for the reference configuration) selects the instantiation
+    discipline.  The published Quick Look sits on an *eager-deep*
+    substrate; ``depth="shallow"`` stops skolemisation at top-level
+    binders and ``speed="lazy"`` keeps ∀-headed spine results
+    uninstantiated (GHC 9's actual configuration).
+    """
+
+    def __init__(self, env: Environment, budget=None, policy=None) -> None:
         self.env = env
         self.budget = budget
+        self.policy = policy
+        self._lazy = policy is not None and policy.lazy
+        self._deep = policy is None or policy.deep
         self.supply = NameSupply("q")
         self.subst: dict[UVar, Type] = {}
         self.skolems: set[str] = set()
@@ -199,7 +210,7 @@ class QuickLookInferencer:
         mapping = {name: TVar(self._fresh_skolem(name)) for name in binders}
         skolems = [variable.name for variable in mapping.values()]
         body = subst_tvars(mapping, body)
-        if isinstance(body, TCon) and body.name == "->" and len(body.args) == 2:
+        if self._deep and isinstance(body, TCon) and body.name == "->" and len(body.args) == 2:
             argument, result = body.args
             inner_skolems, inner_body = self.deep_skolemise(result)
             return skolems + inner_skolems, fun(argument, inner_body)
@@ -480,6 +491,8 @@ class QuickLookInferencer:
             return fun(term.annotation, body)
         if isinstance(term, Ann):
             self._check_sigma(term.expr, term.annotation, local)
+            if self._lazy:
+                return self.zonk(term.annotation)
             return self.instantiate(term.annotation)
         if isinstance(term, Let):
             bound = self._infer_sigma(term.bound, local)
@@ -547,11 +560,12 @@ class QuickLookInferencer:
         current = self.zonk(current)
         if expected is not None:
             self._subsume_rho(current, expected, spine_result=True)
-        elif isinstance(current, Forall):
+        elif isinstance(current, Forall) and not self._lazy:
             # No expected type to propagate the polymorphism into: the
             # ∀-headed result instantiates predicatively, exactly as
             # RankN's variable rule would (re-generalisation at the
             # nearest σ point restores the quantifiers when legitimate).
+            # A lazy policy keeps the polytype instead.
             current = self.instantiate(current)
         return self.zonk(current)
 

@@ -63,11 +63,24 @@ class RankNError(TypeError_):
 
 
 class RankNInferencer:
-    """Bidirectional predicative arbitrary-rank inference."""
+    """Bidirectional predicative arbitrary-rank inference.
 
-    def __init__(self, env: Environment, budget=None) -> None:
+    ``policy`` (an :class:`~repro.core.policy.InstantiationPolicy`, or
+    ``None`` for the system's reference configuration) selects the
+    instantiation discipline.  The JFP 2007 system is *eager-deep*:
+    variables instantiate on mention and subsumption deep-skolemises.
+    ``depth="shallow"`` stops skolemisation at the top-level binders
+    (GHC 9's simplified subsumption); ``speed="lazy"`` keeps a
+    variable's polytype at its occurrence until an elimination context
+    forces instantiation (GHC 9's lazy instantiation).
+    """
+
+    def __init__(self, env: Environment, budget=None, policy=None) -> None:
         self.env = env
         self.budget = budget
+        self.policy = policy
+        self._lazy = policy is not None and policy.lazy
+        self._deep = policy is None or policy.deep
         self.supply = NameSupply("r")
         self.subst: dict[UVar, Type] = {}
         self.skolems: set[str] = set()
@@ -137,13 +150,19 @@ class RankNInferencer:
         return subst_tvars(mapping, body)
 
     def deep_skolemise(self, scheme: Type) -> tuple[list[str], Type]:
-        """Peel quantifiers at the top *and* to the right of arrows."""
+        """Peel quantifiers at the top — and, under a deep policy, to the
+        right of arrows too."""
         scheme = self.zonk(scheme)
         binders, body = strip_forall(scheme)
         mapping = {name: TVar(self._fresh_skolem(name)) for name in binders}
         skolems = [variable.name for variable in mapping.values()]
         body = subst_tvars(mapping, body)
-        if isinstance(body, TCon) and body.name == "->" and len(body.args) == 2:
+        if (
+            self._deep
+            and isinstance(body, TCon)
+            and body.name == "->"
+            and len(body.args) == 2
+        ):
             argument, result = body.args
             inner_skolems, inner_body = self.deep_skolemise(result)
             return skolems + inner_skolems, fun(argument, inner_body)
@@ -239,6 +258,10 @@ class RankNInferencer:
 
     def _infer_rho(self, term: Term, local: dict[str, Type]) -> Type:
         if isinstance(term, Var):
+            if self._lazy:
+                # Lazy instantiation: keep the polytype; elimination
+                # contexts (application heads, case scrutinees) force it.
+                return self.zonk(self._lookup(term.name, local))
             return self.instantiate(self._lookup(term.name, local))
         if isinstance(term, Lit):
             return term.type_
@@ -273,6 +296,8 @@ class RankNInferencer:
             # Annotations switch to checking mode (the whole point of the
             # bidirectional system).
             self._check_sigma(term.expr, term.annotation, local)
+            if self._lazy:
+                return self.zonk(term.annotation)
             return self.instantiate(term.annotation)
         if isinstance(term, Let):
             bound = self._infer_sigma(term.bound, local)
@@ -333,6 +358,10 @@ class RankNInferencer:
 
     def _infer_case(self, term: Case, local: dict[str, Type]) -> Type:
         scrutinee = self._infer_rho(term.scrutinee, local)
+        if isinstance(self.zonk(scrutinee), Forall):
+            # Reachable only under a lazy policy: matching forces
+            # instantiation.
+            scrutinee = self.instantiate(scrutinee)
         first = self.env.lookup_datacon(term.alts[0].constructor)
         alphas = {name: self.fresh() for name in first.universals}
         self.unify(
@@ -348,7 +377,10 @@ class RankNInferencer:
             fields = [subst_tvars(mapping, field) for field in datacon.fields]
             inner = dict(local)
             inner.update(dict(zip(alt.binders, fields)))
-            self.unify(result, self._infer_rho(alt.rhs, inner))
+            rhs = self._infer_rho(alt.rhs, inner)
+            if isinstance(self.zonk(rhs), Forall):
+                rhs = self.instantiate(rhs)
+            self.unify(result, rhs)
         return self.zonk(result)
 
 

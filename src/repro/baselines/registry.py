@@ -25,7 +25,7 @@ from typing import Callable
 
 from repro.core.env import Environment
 from repro.core.errors import BudgetExceededError, GIError, InternalError
-from repro.core.infer import Inferencer
+from repro.core.infer import Inferencer, InferOptions
 from repro.core.terms import Term
 from repro.core.types import Type
 from repro.baselines.freezeml import FreezeMLInferencer
@@ -74,21 +74,37 @@ class SystemOutcome:
 
 @dataclass(frozen=True)
 class System:
-    """One executable type system: a name and an inferencer factory."""
+    """One executable type system: a name and an inferencer factory.
+
+    ``policy`` (an :class:`~repro.core.policy.InstantiationPolicy`, or
+    ``None``) selects an instantiation discipline for the backends that
+    have a meaningful eager/lazy × deep/shallow axis (GI, RankN,
+    QuickLook).  ``None`` is each system's own *reference*
+    configuration — eager-shallow for GI, eager-deep for the
+    bidirectional systems — so the differential oracles keep comparing
+    the published systems unless a policy is explicitly requested.
+    Systems without a policy axis ignore the argument.
+    """
 
     name: str
     description: str
-    make: Callable[[Environment, object], Callable[[Term], Type]]
+    make: Callable[..., Callable[[Term], Type]]
 
     def infer(self, term: Term, env: Environment) -> Type:
         """Infer unbudgeted; raises :class:`GIError` on failure."""
         return self.make(env, None)(term)
 
-    def run(self, term: Term, env: Environment, budget=None) -> SystemOutcome:
+    def run(self, term: Term, env: Environment, budget=None, policy=None) -> SystemOutcome:
         """Run with crash containment and the accept/reject/unavailable
         distinction differential oracles need."""
         try:
-            type_ = self.make(env, budget)(term)
+            # Old-style factories take (env, budget); the keyword is only
+            # supplied when a non-reference policy is actually requested.
+            if policy is None:
+                factory = self.make(env, budget)
+            else:
+                factory = self.make(env, budget, policy=policy)
+            type_ = factory(term)
         except BudgetExceededError as error:
             return SystemOutcome(
                 Outcome.UNAVAILABLE,
@@ -126,8 +142,9 @@ class System:
         return self.run(term, env).type_
 
 
-def _gi(env: Environment, budget) -> Callable[[Term], Type]:
-    inferencer = Inferencer(env, budget=budget)
+def _gi(env: Environment, budget, policy=None) -> Callable[[Term], Type]:
+    options = InferOptions(policy=policy) if policy is not None else None
+    inferencer = Inferencer(env, options=options, budget=budget)
     return lambda term: inferencer.infer(term).type_
 
 
@@ -140,34 +157,43 @@ SYSTEMS: dict[str, System] = {
     "HMF": System(
         "HMF",
         "HMF, plain left-to-right (Leijen 2008)",
-        lambda env, budget: HMFInferencer(env, budget=budget).infer,
+        lambda env, budget, policy=None: HMFInferencer(env, budget=budget).infer,
     ),
     "HMF-N": System(
         "HMF-N",
         "HMF with the n-ary postponed-argument extension",
-        lambda env, budget: HMFInferencer(env, nary=True, budget=budget).infer,
+        lambda env, budget, policy=None: HMFInferencer(
+            env, nary=True, budget=budget
+        ).infer,
     ),
     "HM": System(
         "HM",
         "Hindley-Milner rank-1 (Algorithm W)",
-        lambda env, budget: HMInferencer(env, budget=budget).infer,
+        lambda env, budget, policy=None: HMInferencer(env, budget=budget).infer,
     ),
     "RankN": System(
         "RankN",
         "Predicative arbitrary-rank bidirectional (JFP 2007)",
-        lambda env, budget: RankNInferencer(env, budget=budget).infer,
+        lambda env, budget, policy=None: RankNInferencer(
+            env, budget=budget, policy=policy
+        ).infer,
     ),
     "FreezeML": System(
         "FreezeML",
         "FreezeML: ML with explicit freeze via annotation (PLDI 2020)",
-        lambda env, budget: FreezeMLInferencer(env, budget=budget).infer,
+        lambda env, budget, policy=None: FreezeMLInferencer(env, budget=budget).infer,
     ),
     "QuickLook": System(
         "QuickLook",
         "Quick Look impredicativity over RankN (ICFP 2020)",
-        lambda env, budget: QuickLookInferencer(env, budget=budget).infer,
+        lambda env, budget, policy=None: QuickLookInferencer(
+            env, budget=budget, policy=policy
+        ).infer,
     ),
 }
+
+POLICY_SYSTEMS: tuple[str, ...] = ("GI", "RankN", "QuickLook")
+"""The systems with a meaningful instantiation-policy axis."""
 
 
 def get_system(name: str) -> System:

@@ -11,6 +11,11 @@ counterexample triple-purpose —
   diagnostics/JSON pipeline,
 * ``tests/test_corpus.py`` re-runs every file's oracle battery forever
   after, so a fixed divergence can never silently come back.
+
+A ``-- policy: NAME`` header (the one comment ``read_batch_file``
+interprets) pins the instantiation policy a policy-flip entry was filed
+against, so the batch replay checks it under that policy rather than
+the default.
 """
 
 from __future__ import annotations

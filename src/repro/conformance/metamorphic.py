@@ -22,12 +22,18 @@ from __future__ import annotations
 import random
 from typing import Callable, Optional
 
+from repro.core.env import Environment
 from repro.core.infer import InferenceResult
+from repro.core.policy import InstantiationPolicy, has_nested_forall
 from repro.core.terms import (
     Ann,
+    AnnLam,
     App,
+    Case,
+    CaseAlt,
     Lam,
     Let,
+    Lit,
     Term,
     Var,
     app,
@@ -43,11 +49,18 @@ def eta_expand(term: Term, result: InferenceResult) -> Term | None:
 
     Guard: the principal type must be an unquantified arrow with a fully
     monomorphic domain (the fresh binder is a plain ``Lam``, and the
-    Lambda Rule makes unannotated binders monomorphic), and the result
-    context must be empty so the type is the whole story.
+    Lambda Rule makes unannotated binders monomorphic), the result
+    context must be empty so the type is the whole story, and no
+    quantifier may hide to the right of an arrow — under *shallow*
+    instantiation ``e : Int → ∀a. a → a`` keeps its nested quantifier
+    where ``\\v. e v`` instantiates it and re-generalises to the prenex
+    ``∀a. Int → a → a`` (the stability paper's motivating instability;
+    the deep policies restore eta through ``stability:eta``).
     """
     type_ = result.type_
     if isinstance(type_, Forall) or getattr(result, "context", ()):
+        return None
+    if has_nested_forall(type_):
         return None
     domains, _ = split_arrows(type_)
     if not domains or not is_fully_monomorphic(domains[0]):
@@ -83,13 +96,23 @@ def let_float_argument(term: Term, result: InferenceResult) -> Term | None:
     expected type at the application site (``poly (\\x -> x)`` checks the
     lambda against ``∀a. a → a``; floated out, the Lambda Rule gives it a
     monomorphic binder and the skolem escapes).  Variables and literals
-    are skipped as no-ops.  The first eligible argument is chosen so the
-    oracle is deterministic.
+    are skipped as no-ops.  Arguments the run *checked against a σ* are
+    excluded too — the solver's evidence records skolems at the
+    argument's path exactly when rule ArgGen generalised it (e.g.
+    ``head ids`` checked against ``∀a. a → a`` in ``cons (head ids)
+    (tail ids)``); floated out, the binding is typed in inference mode,
+    eager instantiation gives it a monotype, and the σ is lost — the
+    let-extraction instability the stability paper opens with, faithful
+    GI behaviour rather than a bug.  The first eligible argument is
+    chosen so the oracle is deterministic.
     """
     if not isinstance(term, App) or not term.args:
         return None
     for position, argument in enumerate(term.args):
         if argument.__class__.__name__ in ("Var", "Lit", "Lam", "AnnLam"):
+            continue
+        gen_info = result.evidence.gen_infos.get((position + 1,))
+        if gen_info is not None and gen_info.skolems:
             continue
         fresh = _fresh_name(term)
         new_args = list(term.args)
@@ -140,9 +163,202 @@ def applicable_transforms(
     return out
 
 
-def _fresh_name(term: Term) -> str:
-    used = free_vars(term)
+def _fresh_name(term: Term, prefix: str = "mv") -> str:
+    used = free_vars(term) | _bound_names(term)
     index = 1
-    while f"mv{index}" in used:
+    while f"{prefix}{index}" in used:
         index += 1
-    return f"mv{index}"
+    return f"{prefix}{index}"
+
+
+# ---------------------------------------------------------------------
+# Stability transforms — the policy-conditional claims of "Seeking
+# Stability by being Lazy and Shallow" (Bottu & Eisenberg, Haskell
+# 2021).  Unlike :data:`TRANSFORMS`, whose guards encode where *this
+# paper's* system (eager-shallow) promises stability, these encode where
+# each point of the eager/lazy × deep/shallow grid does, so the battery
+# depends on the active :class:`~repro.core.policy.InstantiationPolicy`.
+# ---------------------------------------------------------------------
+
+
+def _bound_names(term: Term) -> set[str]:
+    """Every name bound anywhere inside the term."""
+    out: set[str] = set()
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, App):
+            stack.append(node.head)
+            stack.extend(node.args)
+        elif isinstance(node, (Lam, AnnLam)):
+            out.add(node.var)
+            stack.append(node.body)
+        elif isinstance(node, Ann):
+            stack.append(node.expr)
+        elif isinstance(node, Let):
+            out.add(node.var)
+            stack.append(node.bound)
+            stack.append(node.body)
+        elif isinstance(node, Case):
+            stack.append(node.scrutinee)
+            for alt in node.alts:
+                out.update(alt.binders)
+                stack.append(alt.rhs)
+    return out
+
+
+def _rename_free(term: Term, old: str, new: str) -> Term:
+    """Replace free occurrences of variable ``old`` with ``new``.
+
+    Callers guarantee ``new`` is not bound anywhere inside ``term``, so
+    the rewrite cannot capture.
+    """
+    if isinstance(term, Var):
+        return Var(new) if term.name == old else term
+    if isinstance(term, Lit):
+        return term
+    if isinstance(term, App):
+        return App(
+            _rename_free(term.head, old, new),
+            tuple(_rename_free(argument, old, new) for argument in term.args),
+        )
+    if isinstance(term, Lam):
+        if term.var == old:
+            return term
+        return Lam(term.var, _rename_free(term.body, old, new))
+    if isinstance(term, AnnLam):
+        if term.var == old:
+            return term
+        return AnnLam(term.var, term.annotation, _rename_free(term.body, old, new))
+    if isinstance(term, Ann):
+        return Ann(_rename_free(term.expr, old, new), term.annotation)
+    if isinstance(term, Let):
+        bound = _rename_free(term.bound, old, new)
+        body = term.body if term.var == old else _rename_free(term.body, old, new)
+        return Let(term.var, bound, body)
+    if isinstance(term, Case):
+        return Case(
+            _rename_free(term.scrutinee, old, new),
+            tuple(
+                alt
+                if old in alt.binders
+                else CaseAlt(alt.constructor, alt.binders, _rename_free(alt.rhs, old, new))
+                for alt in term.alts
+            ),
+        )
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def stability_let_inline(
+    term: Term, result: InferenceResult, policy: InstantiationPolicy, env: Environment
+) -> Term | None:
+    """``let x = y in e``  ⇒  ``e[x := y]`` — the stability paper's
+    let-inlining of a *variable*.
+
+    Only a **lazy** claim: under lazy instantiation the binding aliases
+    ``y``'s polytype, so inlining is the identity on typing.  Under eager
+    instantiation the binding holds an instantiated (monomorphised) copy
+    and inlining can *gain* typeability (``let f = id in (f :: ∀a. a→a)``
+    is the canonical flip), so no claim is made.  Guards: the bound term
+    is a bare environment variable, distinct from the binder, and not
+    rebound inside the body (the inlined occurrence must keep referring
+    to the same binding).
+    """
+    if not policy.lazy:
+        return None
+    if not isinstance(term, Let) or not isinstance(term.bound, Var):
+        return None
+    alias = term.bound.name
+    if alias == term.var or alias not in env:
+        return None
+    if alias in _bound_names(term.body):
+        return None
+    return _rename_free(term.body, term.var, alias)
+
+
+def stability_let_extract(
+    term: Term, result: InferenceResult, policy: InstantiationPolicy, env: Environment
+) -> Term | None:
+    """``e``  ⇒  ``let v = y in e[y := v]`` for an environment variable
+    ``y`` free in ``e`` — let-extraction, the inverse of inlining.
+
+    The same lazy-only claim as :func:`stability_let_inline`, applied in
+    the direction that fires on almost every generated term (any free
+    environment variable will do), which is what gives the oracle its
+    fuzz coverage.  The first free variable in sorted order keeps the
+    transform deterministic.
+    """
+    if not policy.lazy:
+        return None
+    candidates = sorted(name for name in free_vars(term) if name in env)
+    if not candidates:
+        return None
+    alias = candidates[0]
+    fresh = _fresh_name(term, prefix="sv")
+    return Let(fresh, Var(alias), _rename_free(term, alias, fresh))
+
+
+def stability_signature(
+    term: Term, result: InferenceResult, policy: InstantiationPolicy, env: Environment
+) -> Term | None:
+    """``e`` at ``σ``  ⇒  ``(e :: σ)`` — redundant-signature insertion.
+
+    The stability paper's §4.4 claim: a program must keep its type when
+    its inferred signature is written down.  Under shallow policies the
+    claim holds across the grid (the annotation is checked under the
+    same policy that inferred it).  Under *deep* policies a signature
+    containing a nested ``forall`` is rewritten by deep instantiation at
+    the check site (the GHC ≤8.10 deep-subsumption instability the paper
+    opens with), so those signatures are excluded rather than asserted.
+    """
+    if policy.deep and has_nested_forall(result.type_):
+        return None
+    return annotate_inferred(term, result)
+
+
+def stability_eta(
+    term: Term, result: InferenceResult, policy: InstantiationPolicy, env: Environment
+) -> Term | None:
+    """``e`` at ``σ1 → σ2``  ⇒  ``\\v. e v`` — eta-expansion, with the
+    policy-dependent guard the stability paper derives.
+
+    Under a **deep** policy nested quantifiers are hoisted to a prenex on
+    both sides, so eta is type-preserving whenever the domain is
+    monomorphic.  Under a **shallow** policy the claim additionally
+    requires the codomain to be ∀-free: ``e : Int → ∀a. a → a`` is
+    stable but ``\\v. e v`` re-generalises to ``∀a. Int → a → a``.
+    """
+    type_ = result.type_
+    if isinstance(type_, Forall) or getattr(result, "context", ()):
+        return None
+    if not policy.deep and has_nested_forall(type_):
+        return None
+    domains, _ = split_arrows(type_)
+    if not domains or not is_fully_monomorphic(domains[0]):
+        return None
+    fresh = _fresh_name(term)
+    return Lam(fresh, app(term, Var(fresh)))
+
+
+#: The stability battery, in deterministic order.
+STABILITY_TRANSFORMS: tuple[tuple[str, Callable], ...] = (
+    ("let-inline", stability_let_inline),
+    ("let-extract", stability_let_extract),
+    ("signature", stability_signature),
+    ("eta", stability_eta),
+)
+
+
+def stability_transforms(
+    policy: InstantiationPolicy, env: Environment
+) -> tuple[tuple[str, Transform], ...]:
+    """The stability transforms specialised to one policy and
+    environment, in the plain ``(term, result) -> term | None`` shape
+    the oracles iterate over."""
+    return tuple(
+        (
+            name,
+            lambda term, result, _t=transform: _t(term, result, policy, env),
+        )
+        for name, transform in STABILITY_TRANSFORMS
+    )

@@ -50,6 +50,7 @@ from repro.core.declarative import verify_inference
 from repro.core.env import Environment
 from repro.core.errors import BudgetExceededError, GIError, InternalError
 from repro.core.infer import InferenceResult, Inferencer, InferOptions
+from repro.core.policy import DEFAULT_POLICY, InstantiationPolicy, has_nested_forall
 from repro.core.terms import Term
 from repro.core.types import alpha_equal, rename_canonical
 from repro.interp import evaluate, prelude_env
@@ -87,6 +88,14 @@ class OracleContext:
         self.faults = faults
         self.options = options
         self.systems = tuple(systems) if systems is not None else tuple(SYSTEMS)
+        self.policy: InstantiationPolicy = (
+            options.policy if options is not None else DEFAULT_POLICY
+        )
+        # Backends receive an explicit policy only when a non-reference
+        # one was requested; under the default each system runs in its
+        # own published configuration (eager-deep for the bidirectional
+        # baselines), which is what the differential claims are about.
+        self._backend_policy = None if self.policy == DEFAULT_POLICY else self.policy
         self._outcomes: dict[Term, tuple[InferenceResult | None, GIError | None]] = {}
         self._system_outcomes: dict[tuple[str, Term], SystemOutcome] = {}
 
@@ -138,7 +147,9 @@ class OracleContext:
                     detail=str(error),
                 )
         else:
-            outcome = SYSTEMS[name].run(term, self.env, budget=self.budget)
+            outcome = SYSTEMS[name].run(
+                term, self.env, budget=self.budget, policy=self._backend_policy
+            )
         self._system_outcomes[(name, term)] = outcome
         return outcome
 
@@ -187,6 +198,12 @@ def oracle_roundtrip(ctx: OracleContext, term: Term) -> Violation | None:
 
 
 def oracle_declarative(ctx: OracleContext, term: Term) -> Violation | None:
+    if ctx.policy != DEFAULT_POLICY:
+        # Theorem 4.2 is stated for the paper's eager-shallow discipline;
+        # the replay verifier implements those instantiation rules, so
+        # under an experimental policy it would report honest policy
+        # differences as soundness failures.
+        return None
     result, _error = ctx.outcome(term)
     if result is None:
         return None
@@ -209,6 +226,11 @@ def oracle_declarative(ctx: OracleContext, term: Term) -> Violation | None:
 
 
 def oracle_systemf(ctx: OracleContext, term: Term) -> Violation | None:
+    if ctx.policy.deep:
+        # The elaborator consumes the instantiation traces of the
+        # shallow rules; deep prenexing inserts hoists the evidence does
+        # not record, so Theorem C.1 is out of scope for deep policies.
+        return None
     result, _error = ctx.outcome(term)
     if result is None:
         return None
@@ -285,7 +307,14 @@ def oracle_metamorphic(ctx: OracleContext, term: Term) -> Violation | None:
     result, _error = ctx.outcome(term)
     if result is None:
         return None
+    # Under deep policies a nested-forall signature is rewritten by deep
+    # instantiation at the check site, so re-annotation is genuinely not
+    # type-preserving there (the deep-subsumption instability); the
+    # stability oracle owns that story — skip the legacy transform.
+    skip_annotate = ctx.policy.deep and has_nested_forall(result.type_)
     for name, transform in TRANSFORMS:
+        if name == "annotate" and skip_annotate:
+            continue
         transformed = transform(term, result)
         if transformed is None:
             continue
@@ -302,6 +331,42 @@ def oracle_metamorphic(ctx: OracleContext, term: Term) -> Violation | None:
                 f"metamorphic:{name}",
                 f"transform `{name}` changes the type: `{result.type_}` "
                 f"becomes `{new_result.type_}` on `{transformed}`",
+            )
+    return None
+
+
+def oracle_stability(ctx: OracleContext, term: Term) -> Violation | None:
+    """The stability-paper claims, as metamorphic checks conditioned on
+    the active instantiation policy: let-inlining/extraction of a
+    variable is type-preserving under lazy policies, redundant-signature
+    insertion under every policy, and eta-expansion under the guard each
+    depth admits (see :mod:`repro.conformance.metamorphic`)."""
+    from repro.conformance.metamorphic import stability_transforms
+
+    result, _error = ctx.outcome(term)
+    if result is None:
+        return None
+    for name, transform in stability_transforms(ctx.policy, ctx.env):
+        transformed = transform(term, result)
+        if transformed is None:
+            continue
+        new_result, new_error = ctx.outcome(transformed)
+        if new_result is None:
+            if isinstance(new_error, (BudgetExceededError, InternalError)):
+                # Nothing established (crash is the crash oracle's job).
+                continue
+            return Violation(
+                f"stability:{name}",
+                f"under policy `{ctx.policy}` transform `{name}` loses "
+                f"typeability: `{transformed}` rejected with: {new_error}",
+                type(new_error).__name__ if new_error is not None else None,
+            )
+        if not alpha_equal(new_result.type_, result.type_):
+            return Violation(
+                f"stability:{name}",
+                f"under policy `{ctx.policy}` transform `{name}` changes "
+                f"the type: `{result.type_}` becomes `{new_result.type_}` "
+                f"on `{transformed}`",
             )
     return None
 
@@ -355,6 +420,11 @@ def oracle_differential(ctx: OracleContext, term: Term) -> Violation | None:
                 f"{outcome.detail}",
                 outcome.error,
             )
+    if ctx.policy != DEFAULT_POLICY:
+        # The pairwise implications relate the *published* systems; under
+        # an experimental policy every backend with a policy axis runs a
+        # variant configuration, so only crash containment is asserted.
+        return None
     for premise, conclusion, level in PAIRWISE_IMPLICATIONS:
         if premise not in ctx.systems or conclusion not in ctx.systems:
             continue
@@ -429,6 +499,7 @@ ORACLES: dict[str, object] = {
     "systemf": oracle_systemf,
     "hm": oracle_hm,
     "metamorphic": oracle_metamorphic,
+    "stability": oracle_stability,
     "differential": oracle_differential,
 }
 
@@ -440,7 +511,12 @@ def run_battery(
 ) -> Violation | None:
     """Run the selected oracles in order; the first violation wins."""
     for name in oracles:
-        violation = ORACLES[name](ctx, term)
+        oracle = ORACLES.get(name)
+        if oracle is None:
+            raise ValueError(
+                f"unknown oracle {name!r} (available: {', '.join(ORACLES)})"
+            )
+        violation = oracle(ctx, term)
         if violation is not None:
             return violation
     return None

@@ -36,6 +36,8 @@ from repro.conformance.oracles import (
 )
 from repro.conformance.shrink import DEFAULT_MAX_CHECKS, shrink
 from repro.core.env import Environment
+from repro.core.infer import InferOptions
+from repro.core.policy import DEFAULT_POLICY, parse_policy
 from repro.core.terms import Term, term_size
 from repro.robustness.budget import Budget
 from repro.robustness.faultinject import FaultPlan
@@ -56,6 +58,7 @@ class FuzzConfig:
     count: int = 100
     oracles: tuple[str, ...] = DEFAULT_ORACLES
     systems: tuple[str, ...] | None = None
+    policy: str = DEFAULT_POLICY.name
     jobs: int = 1
     corpus_dir: Path | None = None
     max_steps: int | None = DEFAULT_MAX_STEPS
@@ -68,6 +71,10 @@ class FuzzConfig:
     @property
     def faulty(self) -> bool:
         return self.fault_step is not None or self.fault_depth is not None
+
+    def infer_options(self) -> InferOptions:
+        """The per-case inference options (currently: the policy)."""
+        return InferOptions(policy=parse_policy(self.policy))
 
     def fault_plan(self) -> FaultPlan | None:
         if not self.faulty:
@@ -144,6 +151,13 @@ def run_fuzz(
         from repro.evalsuite.figure2 import figure2_env
 
         env = figure2_env()
+    unknown = [name for name in config.oracles if name not in ORACLES]
+    if unknown:
+        raise ValueError(
+            f"unknown oracle(s) {', '.join(unknown)} "
+            f"(available: {', '.join(ORACLES)})"
+        )
+    parse_policy(config.policy)  # fail fast on a bad policy name
     started = time.monotonic()
     generator = TermGenerator(env)
     cases = generator.cases(config.seed, config.count)
@@ -155,7 +169,11 @@ def run_fuzz(
 
     def check_case(case: FuzzCase, budget: Budget | None):
         ctx = OracleContext(
-            env, budget=budget, faults=config.fault_plan(), systems=config.systems
+            env,
+            budget=budget,
+            faults=config.fault_plan(),
+            options=config.infer_options(),
+            systems=config.systems,
         )
         violation = None
         for name in config.oracles:
@@ -218,6 +236,7 @@ def _handle_violation(
             env,
             budget=clone_budget(_shrink_budget(config)),
             faults=config.fault_plan(),
+            options=config.infer_options(),
             systems=config.systems,
         )
         return oracle(ctx, candidate) is not None
@@ -247,6 +266,11 @@ def _handle_violation(
                 "case": case.index,
                 "mode": case.mode,
                 "shrunk-from": f"{shrunk.original_size} -> {shrunk.final_size} nodes",
+                **(
+                    {"policy": config.policy}
+                    if config.policy != DEFAULT_POLICY.name
+                    else {}
+                ),
                 **(
                     {"fault": f"step={config.fault_step} depth={config.fault_depth}"}
                     if config.faulty

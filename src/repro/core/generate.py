@@ -27,6 +27,7 @@ from repro.core.env import Environment
 from repro.core.errors import GIError
 from repro.core.evidence import EvidenceStore, Path
 from repro.core.names import NameSupply
+from repro.core.policy import DEFAULT_POLICY, InstantiationPolicy
 from repro.core.sorts import Sort
 from repro.core.terms import (
     Ann,
@@ -61,10 +62,12 @@ if TYPE_CHECKING:  # pragma: no cover — avoids a runtime import cycle
 
 @dataclass
 class GenOptions:
-    """Switches for the generator (ablation support)."""
+    """Switches for the generator (ablation support) plus the
+    instantiation policy (:mod:`repro.core.policy`)."""
 
     use_vargen: bool = True
     nary_apps: bool = True
+    policy: InstantiationPolicy = DEFAULT_POLICY
 
 
 class Generator:
@@ -125,6 +128,23 @@ class Generator:
         if isinstance(term, Ann):
             return self.gen_ann(env, term, path)
         if isinstance(term, Let):
+            if (
+                self.options.policy.lazy
+                and isinstance(term.bound, Var)
+                and term.bound.name in env
+            ):
+                # Lazy instantiation: a let-bound *variable* aliases its
+                # environment polytype verbatim instead of being pushed
+                # through a nullary instantiation spine.  Since GI does
+                # not re-generalise lets (Section 3.5), this is the one
+                # site where eager vs lazy is observable — aliasing makes
+                # let-inlining of a variable type-preserving.
+                bound_type = env.lookup(term.bound.name)
+                self.evidence.let_types[path] = bound_type
+                body_type, body_constraints = self.gen(
+                    env.extended(term.var, bound_type), term.body, path + (1,)
+                )
+                return body_type, body_constraints
             bound_type, bound_constraints = self.gen(env, term.bound, path + (0,))
             self.evidence.let_types[path] = bound_type
             body_type, body_constraints = self.gen(

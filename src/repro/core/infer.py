@@ -32,6 +32,7 @@ from repro.core.errors import (
 from repro.core.evidence import EvidenceStore
 from repro.core.generate import GenOptions, Generator
 from repro.core.names import NameSupply, letters
+from repro.core.policy import DEFAULT_POLICY, InstantiationPolicy
 from repro.core.solver import InstanceEnv, Solver
 from repro.core.terms import Ann, Term
 from repro.core.types import (
@@ -59,13 +60,17 @@ class InferOptions:
     ``generalize`` controls whether residual variables are quantified;
     ``defaulting=False`` makes the solver fail deterministically with
     :class:`StuckConstraintError` on underdetermined programs instead of
-    defaulting the blocked variables (Section 4.3.2).
+    defaulting the blocked variables (Section 4.3.2); ``policy`` selects
+    the instantiation discipline (:mod:`repro.core.policy`) — the default
+    ``eager-shallow`` is the paper's system, every other value is an
+    experimental eager/lazy × deep/shallow variant.
     """
 
     use_vargen: bool = True
     nary_apps: bool = True
     generalize: bool = True
     defaulting: bool = True
+    policy: InstantiationPolicy = DEFAULT_POLICY
 
 
 @dataclass
@@ -163,6 +168,7 @@ class Inferencer:
                     GenOptions(
                         use_vargen=self.options.use_vargen,
                         nary_apps=self.options.nary_apps,
+                        policy=self.options.policy,
                     ),
                     tracer=self.tracer,
                 )
@@ -181,6 +187,7 @@ class Inferencer:
                     defaulting=self.options.defaulting,
                     tracer=self.tracer,
                     intern=self.intern,
+                    policy=self.options.policy,
                 )
                 with self._span("solve", constraints=len(constraints)):
                     residual = solver.solve(list(constraints))

@@ -49,6 +49,7 @@ from repro.core.errors import (
 )
 from repro.core.evidence import EvidenceStore, TakeArg, TypeArgs
 from repro.core.names import NameSupply
+from repro.core.policy import DEFAULT_POLICY, InstantiationPolicy, deep_prenex
 from repro.core.sorts import Sort
 from repro.core.types import (
     Forall,
@@ -139,6 +140,7 @@ class Solver:
         tracer: "TracerLike | None" = None,
         wake_queue: bool = True,
         intern=None,
+        policy: InstantiationPolicy = DEFAULT_POLICY,
     ) -> None:
         self.unifier = Unifier(
             supply, budget=budget, faults=faults, tracer=tracer, intern=intern
@@ -153,6 +155,7 @@ class Solver:
         self.tracer = tracer
         self.defaulting = defaulting
         self.wake_queue = wake_queue
+        self.policy = policy
         self._watches: dict[UVar, list[_Deferred]] = {}
         self.steps = 0
         """Constraints processed so far (the budget's fuel gauge)."""
@@ -384,6 +387,12 @@ class Solver:
     def _step_inst(self, constraint: Inst, scope: Scope) -> None:
         tracing = self.tracer is not None and self.tracer.enabled
         lhs = self.unifier.zonk(constraint.lhs)
+        if self.policy.deep and not isinstance(lhs, UVar):
+            # Deep instantiation: hoist quantifiers buried to the right
+            # of arrows before deciding which rule fires, so e.g.
+            # ``Int -> ∀a. a -> a`` instantiates like ``∀a. Int -> a -> a``
+            # (GHC ≤ 8.10's ``deeplyInstantiate``).
+            lhs = deep_prenex(lhs)
         if isinstance(lhs, Forall):
             self._inst_forall_left(lhs, constraint, scope)
             return
@@ -500,6 +509,11 @@ class Solver:
 
     def _step_gen(self, constraint: Gen, scope: Scope) -> None:
         rhs = self.unifier.zonk(constraint.rhs)
+        if self.policy.deep and not isinstance(rhs, UVar):
+            # Deep skolemisation: prenex the target before the Forall
+            # check so nested quantifiers are skolemised too (GHC ≤
+            # 8.10's ``deeplySkolemise``).
+            rhs = deep_prenex(rhs)
         if isinstance(rhs, UVar) and rhs.sort is Sort.U:
             # The right-hand side might yet become polymorphic, in which
             # case we must skolemise (Section 4.3.2, case 2) — wait.

@@ -1,0 +1,100 @@
+"""The instantiation-policy evaluation grid over the ported GHC
+``tc211.hs`` corpus.
+
+GHC's ``tc211`` test is *the* impredicativity litmus file: lists of
+``forall a. a -> a`` elements built with annotated ``(:)``, bare
+lambdas under a result annotation, and result-type-driven resolution.
+Each row here is one of those shapes re-expressed over the Figure-1/2
+environment; the checked-in twins live in ``tests/corpus/`` (a sync
+test keeps the two lists identical).
+
+:func:`policy_matrix` runs every row through every system that has a
+meaningful instantiation-policy axis (:data:`~repro.baselines.registry.
+POLICY_SYSTEMS`) under every point of the eager/lazy × deep/shallow
+grid, producing the acceptance table the stability discussion in
+DESIGN.md refers to — most rows are policy-invariant, and the rows that
+flip (`T6` under lazy, `T7` under deep) flip exactly where the
+stability paper predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.registry import POLICY_SYSTEMS, SYSTEMS, SystemOutcome
+from repro.core.env import Environment
+from repro.core.policy import POLICIES, InstantiationPolicy
+from repro.core.terms import Term
+from repro.syntax import parse_term
+
+
+@dataclass(frozen=True)
+class PolicyExample:
+    """One tc211-derived row of the policy grid."""
+
+    key: str
+    source: str
+    note: str = ""
+
+    @property
+    def term(self) -> Term:
+        return parse_term(self.source)
+
+
+#: The ported tc211 family.  ``T1``–``T5`` probe impredicative list
+#: construction (annotated cons, checked lambda, guarded head/tail,
+#: result- and argument-side sigma); ``T6`` is the lazy-instantiation
+#: flip, ``T7`` the deep-skolemisation flip (Figure 2's E1).
+TC211: tuple[PolicyExample, ...] = (
+    PolicyExample(
+        "T1", "(id : ids :: [forall a. a -> a])", "annotated (:) at sigma"
+    ),
+    PolicyExample(
+        "T2", "((\\x -> x) : ids :: [forall a. a -> a])", "lambda checked at sigma"
+    ),
+    PolicyExample(
+        "T3", "head ids : tail ids", "unannotated, guarded by tail ids"
+    ),
+    PolicyExample(
+        "T4", "(single id :: [forall a. a -> a])", "result-type-driven"
+    ),
+    PolicyExample(
+        "T5", "single (id :: forall a. a -> a)", "argument-side sigma"
+    ),
+    PolicyExample(
+        "T6", "let f = id in (f :: forall a. a -> a)", "flips under lazy"
+    ),
+    PolicyExample(
+        "T7", "k h lst", "flips under deep (Figure 2 E1)"
+    ),
+)
+
+
+def policy_matrix(
+    env: Environment | None = None,
+    budget=None,
+    systems: tuple[str, ...] = POLICY_SYSTEMS,
+    policies: tuple[InstantiationPolicy, ...] = POLICIES,
+) -> dict[str, dict[str, dict[str, SystemOutcome]]]:
+    """``{policy-name: {system: {row-key: SystemOutcome}}}``.
+
+    Unlike the differential oracles (which compare each system's own
+    *published* configuration), every cell here runs the backend under
+    the named policy explicitly — the point is how acceptance moves as
+    the policy moves, per system."""
+    if env is None:
+        from repro.evalsuite.figure2 import figure2_env
+
+        env = figure2_env()
+    return {
+        policy.name: {
+            name: {
+                example.key: SYSTEMS[name].run(
+                    example.term, env, budget=budget, policy=policy
+                )
+                for example in TC211
+            }
+            for name in systems
+        }
+        for policy in policies
+    }

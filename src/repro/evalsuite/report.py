@@ -21,6 +21,28 @@ def mark_outcome(outcome) -> str:
     return CROSS if outcome.rejected else UNAVAIL
 
 
+def render_policy_matrix(matrix, examples, systems: Sequence[str]) -> str:
+    """Render the instantiation-policy grid: one acceptance table per
+    policy (rows = tc211 examples, columns = policy-axis systems), in
+    the grid's own order.
+
+    ``matrix`` is :func:`repro.evalsuite.policies.policy_matrix` output:
+    ``{policy-name: {system: {row-key: SystemOutcome}}}``."""
+    sections = []
+    for policy_name, by_system in matrix.items():
+        headers = ["id", "example"] + list(systems)
+        rows = []
+        for example in examples:
+            rows.append(
+                [example.key, example.source[:40]]
+                + [mark_outcome(by_system[name][example.key]) for name in systems]
+            )
+        sections.append(
+            render_table(headers, rows, title=f"policy {policy_name}")
+        )
+    return "\n\n".join(sections)
+
+
 def render_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],

@@ -35,6 +35,7 @@ from repro.robustness.pool import WorkerPool, clone_budget
 _BATCH_EXPORTS = (
     "BatchItem",
     "BatchResult",
+    "BatchSource",
     "Diagnostic",
     "check_batch",
     "read_batch_file",

@@ -30,6 +30,25 @@ SEVERITY_INTERNAL = "internal"
 """A contained engine failure (:class:`InternalError` or a parser crash)."""
 
 
+class BatchSource(str):
+    """A batch expression that may carry its own instantiation policy.
+
+    A plain ``str`` for every existing purpose (equality, rendering,
+    parsing), plus an optional per-item policy override.  Corpus files
+    whose verdict depends on a non-default policy (the tc211 policy-flip
+    cases) declare it with a ``-- policy: NAME`` header, which
+    :func:`read_batch_file` attaches here so ``repro batch tests/corpus``
+    replays them under the policy they were filed against.
+    """
+
+    policy = None
+
+    def __new__(cls, source: str, policy=None):
+        self = super().__new__(cls, source)
+        self.policy = policy
+        return self
+
+
 @dataclass
 class Diagnostic:
     """One structured failure record for one batch item."""
@@ -186,6 +205,12 @@ def check_batch(
     comes back with ``interrupted=True`` holding the completed prefix.
     This is how the CLI drains the pool on SIGINT/SIGTERM instead of
     orphaning workers mid-batch.
+
+    A source that is a :class:`BatchSource` with a non-``None`` policy is
+    checked under ``options`` with that policy substituted — the per-item
+    override beats the batch-wide default, so one corpus file filed
+    against ``lazy-shallow`` replays correctly inside an otherwise
+    default sweep.
     """
     from repro.robustness.pool import WorkerPool, clone_budget
 
@@ -212,14 +237,25 @@ def check_batch(
                 if cancel is not None and cancel.is_set():
                     result.interrupted = True
                     break
-                inferencer = shared or Inferencer(
-                    env,
-                    instances,
-                    options,
-                    budget=budget,
-                    faults=seeded_fault_plan(seed, index),
-                    tracer=tracer,
-                )
+                item_options = _options_for_item(options, source)
+                if item_options is not options:
+                    inferencer = Inferencer(
+                        env,
+                        instances,
+                        item_options,
+                        budget=budget,
+                        faults=None if seed is None else seeded_fault_plan(seed, index),
+                        tracer=tracer,
+                    )
+                else:
+                    inferencer = shared or Inferencer(
+                        env,
+                        instances,
+                        options,
+                        budget=budget,
+                        faults=seeded_fault_plan(seed, index),
+                        tracer=tracer,
+                    )
                 item_cm = (
                     tracer.span("batch.item", parent=batch_span, index=index)
                     if tracing
@@ -238,7 +274,11 @@ def check_batch(
             if cancel is not None and cancel.is_set():
                 return None  # drained: the item never started
             worker = Inferencer(
-                env, instances, options, budget=worker_budget, tracer=tracer
+                env,
+                instances,
+                _options_for_item(options, source),
+                budget=worker_budget,
+                tracer=tracer,
             )
             item_cm = (
                 tracer.span("batch.item", parent=batch_span, index=index)
@@ -253,6 +293,18 @@ def check_batch(
         result.items.extend(item for item in outcomes if item is not None)
         result.interrupted = any(item is None for item in outcomes)
         return result
+
+
+def _options_for_item(
+    options: InferOptions | None, source: str
+) -> InferOptions | None:
+    """``options`` with a :class:`BatchSource` policy override applied."""
+    policy = getattr(source, "policy", None)
+    if policy is None:
+        return options
+    from dataclasses import replace
+
+    return replace(options if options is not None else InferOptions(), policy=policy)
 
 
 def _check_one(
@@ -302,6 +354,13 @@ def read_batch_file(path: str) -> list[str]:
     file under it, sorted by name — the format the conformance fuzzer's
     counterexample corpus uses, so minimized counterexamples flow
     through the same diagnostics/JSON pipeline as any batch input.
+
+    One comment header is load-bearing: ``-- policy: NAME`` selects the
+    instantiation policy for every expression after it *in that file*
+    (scope resets per file), returned as :class:`BatchSource` strings so
+    :func:`check_batch` replays policy-flip corpus entries under the
+    policy they were filed against.  An unknown name raises
+    :class:`ValueError` naming the file.
     """
     from pathlib import Path
 
@@ -312,12 +371,26 @@ def read_batch_file(path: str) -> list[str]:
             sources.extend(read_batch_file(str(entry)))
         return sources
     sources = []
+    policy = None
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             stripped = line.strip()
-            if not stripped or stripped.startswith("--"):
+            if not stripped:
                 continue
-            sources.append(stripped)
+            if stripped.startswith("--"):
+                body = stripped[2:].strip()
+                key, _, value = body.partition(":")
+                if key.strip() == "policy":
+                    from repro.core.policy import parse_policy
+
+                    try:
+                        policy = parse_policy(value.strip())
+                    except ValueError as error:
+                        raise ValueError(f"{path}: {error}") from None
+                continue
+            sources.append(
+                BatchSource(stripped, policy=policy) if policy is not None else stripped
+            )
     return sources
 
 

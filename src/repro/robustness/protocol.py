@@ -24,7 +24,10 @@ Optional request fields: ``session`` (a name — requests sharing it share
 an env/cache namespace across connections; default is a per-connection
 session), ``timeout_ms`` (clamped by the server ceiling; the deadline is
 fixed at *admission*, so queue wait counts against it), ``max_steps`` /
-``max_depth`` (solver/unifier budgets, clamped likewise), and — only
+``max_depth`` (solver/unifier budgets, clamped likewise), ``policy``
+(an instantiation-policy name — ``eager-shallow``, ``eager-deep``,
+``lazy-shallow``, ``lazy-deep`` — applied to that one request; the
+default is the paper's eager-shallow discipline), and — only
 when the server runs with ``--allow-faults`` — ``fault_step`` /
 ``fault_depth`` arming a deterministic :class:`FaultPlan` for that one
 request (the crash-containment soak's entry point).
@@ -53,6 +56,8 @@ generator and the CI smoke job all call them.
 from __future__ import annotations
 
 import json
+
+from repro.core.policy import POLICY_NAMES
 
 PROTO_VERSION = 1
 
@@ -88,6 +93,7 @@ _FIELD_TYPES: dict[str, tuple] = {
     "fault_step": (int,),
     "fault_depth": (int,),
     "stats": (bool,),
+    "policy": (str,),
 }
 
 _OP_REQUIRED: dict[str, tuple[str, ...]] = {
@@ -100,8 +106,22 @@ _OP_REQUIRED: dict[str, tuple[str, ...]] = {
 }
 
 _OP_OPTIONAL: dict[str, tuple[str, ...]] = {
-    "check": ("timeout_ms", "max_steps", "max_depth", "fault_step", "fault_depth"),
-    "infer": ("timeout_ms", "max_steps", "max_depth", "fault_step", "fault_depth"),
+    "check": (
+        "timeout_ms",
+        "max_steps",
+        "max_depth",
+        "fault_step",
+        "fault_depth",
+        "policy",
+    ),
+    "infer": (
+        "timeout_ms",
+        "max_steps",
+        "max_depth",
+        "fault_step",
+        "fault_depth",
+        "policy",
+    ),
     "module": (
         "source",
         "path",
@@ -109,8 +129,9 @@ _OP_OPTIONAL: dict[str, tuple[str, ...]] = {
         "timeout_ms",
         "max_steps",
         "max_depth",
+        "policy",
     ),
-    "explain": ("timeout_ms", "max_steps", "max_depth"),
+    "explain": ("timeout_ms", "max_steps", "max_depth", "policy"),
     "stats": (),
     "shutdown": (),
 }
@@ -159,6 +180,12 @@ def validate_request(obj) -> list[str]:
         value = obj.get(name)
         if isinstance(value, _NUMBER) and not isinstance(value, bool) and value <= 0:
             errors.append(f"{op}: field `{name}` must be positive")
+    policy = obj.get("policy")
+    if isinstance(policy, str) and policy not in POLICY_NAMES:
+        errors.append(
+            f"{op}: unknown policy `{policy}` "
+            f"(available: {', '.join(POLICY_NAMES)})"
+        )
     return errors
 
 

@@ -640,10 +640,24 @@ class GIServer:
     def _elapsed_ms(started: float) -> float:
         return round((time.perf_counter() - started) * 1000.0, 3)
 
+    def _options_for(self, request: dict) -> InferOptions | None:
+        """The per-request inference options: the server defaults, with
+        the request's ``policy`` field (validated at admission) applied."""
+        name = request.get("policy")
+        if name is None:
+            return self.options
+        from dataclasses import replace
+
+        from repro.core.policy import parse_policy
+
+        base = self.options if self.options is not None else InferOptions()
+        return replace(base, policy=parse_policy(name))
+
     def _perform(self, op: str, request: dict, session: Session, deadline) -> dict:
         from repro.robustness.batch import _parse_contained
 
         budget = self._budget(request, deadline)
+        options = self._options_for(request)
         if op in ("check", "infer"):
             faults = None
             if request.get("fault_step") or request.get("fault_depth"):
@@ -659,7 +673,7 @@ class GIServer:
             inferencer = Inferencer(
                 session.env,
                 self.instances,
-                self.options,
+                options,
                 budget=budget,
                 faults=faults,
                 tracer=self.tracer,
@@ -675,17 +689,19 @@ class GIServer:
             result = Inferencer(
                 session.env,
                 self.instances,
-                self.options,
+                options,
                 budget=budget,
                 tracer=local,
                 intern=self.intern,
             ).infer(term)
             return {"type": str(result.type_), "explanation": explain_tracer(local)}
         if op == "module":
-            return self._perform_module(request, session, budget)
+            return self._perform_module(request, session, budget, options)
         raise AssertionError(f"unreachable op {op}")  # pragma: no cover
 
-    def _perform_module(self, request: dict, session: Session, budget) -> dict:
+    def _perform_module(
+        self, request: dict, session: Session, budget, options: InferOptions
+    ) -> dict:
         from repro.modules import ModuleCache, ModuleEngine
 
         path = request.get("path")
@@ -711,7 +727,7 @@ class GIServer:
             engine = ModuleEngine(
                 session.env,
                 self.instances,
-                self.options,
+                options,
                 budget=budget,
                 jobs=1,  # request-level parallelism comes from the executor
                 cache=cache,

@@ -1,0 +1,10 @@
+-- oracle: ghc-tc211
+-- seed: ported (GHC testsuite tc211.hs, `((:) id ids) :: [forall a. a -> a]`)
+-- mode: well-typed
+-- detail: an annotated cons cell with a polymorphic element type: the
+-- detail: result annotation guards the impredicative instantiation of
+-- detail: (:) at `forall a. a -> a`.  GI, HMF-N and Quick Look accept;
+-- detail: plain HMF, HM, RankN and FreezeML reject (rank-1 or
+-- detail: predicative instantiation only), all vacuously under the
+-- detail: implication matrix since no premise system accepts.
+(id : ids :: [forall a. a -> a])

@@ -1,0 +1,9 @@
+-- oracle: ghc-tc211
+-- seed: ported (GHC testsuite tc211.hs, `[\x -> x, id] :: [forall a. a -> a]`)
+-- mode: well-typed
+-- detail: a bare lambda consed onto ids under a result annotation: the
+-- detail: lambda is checked against the guarded `forall a. a -> a`
+-- detail: element type (the Lambda Rule with an expected sigma), the
+-- detail: same shape as tc211's list-literal of eta-unexpanded
+-- detail: identities.  GI, HMF-N and Quick Look accept.
+((\x -> x) : ids :: [forall a. a -> a])

@@ -95,6 +95,42 @@ class TestBatchFile:
             "inc True",
         ]
 
+    def test_policy_header_tags_following_sources(self, tmp_path):
+        from repro.core.policy import LAZY_SHALLOW
+        from repro.robustness import BatchSource
+
+        path = tmp_path / "exprs.gi"
+        path.write_text("head ids\n-- policy: lazy-shallow\ninc 1\n")
+        plain, tagged = read_batch_file(str(path))
+        assert plain == "head ids" and getattr(plain, "policy", None) is None
+        assert isinstance(tagged, BatchSource)
+        assert tagged == "inc 1" and tagged.policy is LAZY_SHALLOW
+
+    def test_policy_header_scope_resets_per_file(self, tmp_path):
+        (tmp_path / "a.gi").write_text("-- policy: lazy-deep\nhead ids\n")
+        (tmp_path / "b.gi").write_text("inc 1\n")
+        first, second = read_batch_file(str(tmp_path))
+        assert first.policy.name == "lazy-deep"
+        assert getattr(second, "policy", None) is None
+
+    def test_unknown_policy_header_raises_with_filename(self, tmp_path):
+        path = tmp_path / "exprs.gi"
+        path.write_text("-- policy: eager-bogus\nhead ids\n")
+        with pytest.raises(ValueError, match="eager-bogus"):
+            read_batch_file(str(path))
+
+    def test_per_item_policy_override_flips_the_verdict(self, tmp_path):
+        from repro.core.policy import LAZY_SHALLOW
+        from repro.robustness import BatchSource
+
+        flip = "let f = id in (f :: forall a. a -> a)"
+        default = check_batch([flip], ENV)
+        assert not default.ok  # eager-shallow instantiates the let binding
+        for jobs in (1, 2):
+            tagged = check_batch([BatchSource(flip, policy=LAZY_SHALLOW)], ENV, jobs=jobs)
+            assert tagged.ok
+            assert tagged.items[0].type_ == "forall a. a -> a"
+
 
 class TestBatchCLI:
     def _write(self, tmp_path, sources):
@@ -106,6 +142,12 @@ class TestBatchCLI:
         assert main(["batch", self._write(tmp_path, WELL_TYPED)]) == 0
         out = capsys.readouterr().out
         assert "3/3 passed, 0 failed" in out
+
+    def test_bad_policy_header_exits_two(self, tmp_path, capsys):
+        path = self._write(tmp_path, ["-- policy: nope", "head ids"])
+        assert main(["batch", path]) == 2
+        err = capsys.readouterr().err
+        assert "unknown policy" in err and "eager-shallow" in err
 
     def test_failures_exit_nonzero_but_report_everything(self, tmp_path, capsys):
         path = self._write(tmp_path, WELL_TYPED + ILL_TYPED + [DEEP_PARENS])

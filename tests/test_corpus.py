@@ -36,6 +36,49 @@ def test_corpus_exists_and_loads():
     assert ENTRIES, "the checked-in corpus must not be empty"
 
 
+def test_corpus_hygiene_every_file_parses():
+    """``load_corpus`` silently skips comment-only files; the checked-in
+    corpus must contain none — every ``.gi`` file carries a term."""
+    on_disk = sorted(CORPUS_DIR.glob("*.gi"))
+    assert [entry.path for entry in ENTRIES] == on_disk
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.path.stem for entry in ENTRIES]
+)
+def test_corpus_hygiene_digest_matches_content(entry):
+    """Filenames end in the sha1 digest of the canonical term (the
+    ``counterexample_name`` convention), so a file whose term was edited
+    without a rename — or a stale duplicate — fails loudly."""
+    import hashlib
+
+    digest = hashlib.sha1(str(entry.term).encode("utf-8")).hexdigest()[:12]
+    assert entry.path.stem.endswith(f"-{digest}"), (
+        f"{entry.path.name}: expected digest suffix -{digest} "
+        f"for term `{entry.term}`"
+    )
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.path.stem for entry in ENTRIES]
+)
+def test_corpus_hygiene_divergence_waivers_name_real_pairs(entry):
+    """Every ``-- expected-divergence:`` header must name a registered
+    ``Premise=>Conclusion`` pair from the implication matrix — a typo'd
+    waiver would silently stop waiving."""
+    known = {
+        f"{premise}=>{conclusion}"
+        for premise, conclusion, _level in PAIRWISE_IMPLICATIONS
+    }
+    for pair in expected_divergences(entry):
+        assert pair in known, (
+            f"{entry.path.name}: `{pair}` is not a registered implication "
+            f"(known: {', '.join(sorted(known))})"
+        )
+        premise, _, conclusion = pair.partition("=>")
+        assert premise in SYSTEMS and conclusion in SYSTEMS
+
+
 @pytest.mark.parametrize(
     "entry", ENTRIES, ids=[entry.path.stem for entry in ENTRIES]
 )

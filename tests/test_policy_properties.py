@@ -1,0 +1,66 @@
+"""Property tests for the instantiation-policy axis (satellite S2).
+
+Two invariants over the conformance fuzzer's term strategies:
+
+* the policy lives entirely in the *inference* layer: parsing and
+  pretty-printing never see it, so ``parse(pretty(t)) == t`` holds for
+  every term and the printed form infers identically to the original
+  under **every** policy point;
+* inference under any policy is a function of the term: re-running the
+  same term twice gives the same outcome (acceptance and α-equal type),
+  i.e. the policy threading introduced no hidden state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.conformance.strategies import hm_terms
+from repro.core.errors import GIError
+from repro.core.infer import Inferencer, InferOptions
+from repro.core.policy import POLICIES
+from repro.core.types import alpha_equal, rename_canonical
+from repro.evalsuite.figure2 import figure2_env
+from repro.syntax import parse_term
+
+ENV = figure2_env()
+
+
+def _outcome(term, policy):
+    """(accepted, canonical type or error class) under one policy."""
+    options = InferOptions(policy=policy)
+    try:
+        result = Inferencer(figure2_env(), options=options).infer(term)
+    except GIError as error:
+        return (False, type(error).__name__)
+    except RecursionError:
+        return (False, "RecursionError")
+    return (True, rename_canonical(result.type_))
+
+
+def _same(a, b) -> bool:
+    if a[0] != b[0]:
+        return False
+    if isinstance(a[1], str) or isinstance(b[1], str):
+        return a[1] == b[1]
+    return alpha_equal(a[1], b[1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(hm_terms())
+def test_pretty_parse_roundtrip_is_policy_blind(term):
+    reparsed = parse_term(str(term))
+    assert reparsed == term
+    for policy in POLICIES:
+        assert _same(_outcome(term, policy), _outcome(reparsed, policy)), (
+            f"policy {policy} distinguishes a term from its printed form"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(hm_terms())
+def test_inference_under_each_policy_is_deterministic(term):
+    for policy in POLICIES:
+        assert _same(_outcome(term, policy), _outcome(term, policy)), (
+            f"policy {policy} is not deterministic on `{term}`"
+        )

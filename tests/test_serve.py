@@ -89,6 +89,14 @@ class TestRequestSchema:
         assert protocol.validate_request(self._base(expr=42)) != []
         assert protocol.validate_request(self._base(timeout_ms="soon")) != []
 
+    def test_policy_field_validated(self):
+        assert protocol.validate_request(self._base(policy="lazy-deep")) == []
+        assert any(
+            "unknown policy" in e
+            for e in protocol.validate_request(self._base(policy="deep-lazy"))
+        )
+        assert protocol.validate_request(self._base(policy=7)) != []
+
     def test_nonpositive_budgets_rejected(self):
         assert any(
             "positive" in e
@@ -193,6 +201,34 @@ class TestServeBasics:
             with connect(sock) as client:
                 reply = client.request("explain", expr="app poly id")
                 assert reply["ok"] and "classification" in reply["explanation"]
+
+    def test_per_request_policy(self, tmp_path):
+        flip = "let f = id in (f :: forall a. a -> a)"
+        with serve(tmp_path) as (handle, sock):
+            with connect(sock) as client:
+                # Default policy: eager instantiation, skolem escape.
+                reply = client.request("infer", expr=flip)
+                assert not reply["ok"]
+                assert reply["error"]["class"] == "SkolemEscapeError"
+                # Lazy instantiation flips the verdict for this request.
+                reply = client.request("infer", expr=flip, policy="lazy-shallow")
+                assert reply["ok"] and reply["type"] == "forall a. a -> a"
+                # The override is per-request: the default is untouched.
+                assert not client.request("infer", expr=flip)["ok"]
+                reply = client.request(
+                    "check", expr="k h lst", signature="Int -> Int -> Int"
+                )
+                assert not reply["ok"]
+
+    def test_unknown_policy_is_a_schema_error(self, tmp_path):
+        with serve(tmp_path) as (handle, sock):
+            with connect(sock) as client:
+                reply = client.request("infer", expr="id", policy="deepest")
+                assert not reply["ok"]
+                assert reply["error"]["severity"] == "error"
+                assert "unknown policy" in reply["error"]["message"]
+                # The connection survives the rejection.
+                assert client.request("infer", expr="head ids")["ok"]
 
     def test_pipelined_requests_match_by_id(self, tmp_path):
         with serve(tmp_path) as (handle, sock):
