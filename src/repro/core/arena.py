@@ -1,0 +1,717 @@
+"""Arena-backed type core: int-indexed struct-of-arrays type tables.
+
+The object-graph representation of :mod:`repro.core.types` pays a Python
+object per node and a Python-level ``__hash__``/``__eq__`` per container
+operation; on the hot paths (zonk, occurs checks, promotion sweeps) those
+costs dominate.  This module flattens hash-consed type nodes into an
+**arena**: parallel integer arrays where *a type is an* ``int`` *node
+id*, so the traversals become tight loops over ``array('q')`` buffers
+with no per-step allocation, and a whole prelude-loaded table can be
+shipped to another process as one contiguous buffer
+(:meth:`Arena.snapshot` / :meth:`Arena.restore`) without re-interning a
+single node.
+
+Layout (one row per node; ``kids`` is a shared flat child array)::
+
+    tag     x            y            z
+    ----    ---------    ---------    ---------
+    TVAR    name id      —            —
+    UVAR    name id      sort code    level
+    TCON    name id      kids start   arg count      kids: arg ids
+    FORALL  kids start   kids len     binder count   kids: record
+
+    FORALL record = [binder name ids...,  body id,  n preds,
+                     (pred name id, n args, arg ids...)...]
+
+Node ids are assigned densely in creation order and never change, so the
+intern map (``(tag, payload) -> id``, tuples of small ints) makes node-id
+equality coincide with structural equality — the arena *is* the
+hash-consing table.  The original :class:`~repro.core.types.Type` API
+stays available as a **view layer**: :meth:`Arena.view` materialises the
+canonical ``Type`` object for a node (memoised per id, so object
+identity equals node identity), and :meth:`Arena.add` encodes an
+existing ``Type`` into the arena, caching the id on the object so the
+boundary conversion is one attribute lookup after the first crossing.
+
+The snapshot format is versioned (``MAGIC`` + format version); a
+restored arena reproduces node ids, strings and the intern map exactly,
+independent of ``PYTHONHASHSEED`` — restoring in a child process yields
+byte-identical inference output (see ``tests/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Iterable
+
+from repro.core.sorts import Sort
+from repro.core.types import (
+    Forall,
+    InternTable,
+    Pred,
+    TCon,
+    TVar,
+    Type,
+    UVar,
+)
+
+TAG_TVAR = 0
+TAG_UVAR = 1
+TAG_TCON = 2
+TAG_FORALL = 3
+
+_SORTS = (Sort.M, Sort.T, Sort.U)
+
+MAGIC = b"GIARENA\x01"
+"""Snapshot header magic; the final byte is the format version."""
+
+
+class ArenaFull(Exception):
+    """Raised by node constructors when a bounded arena is at capacity.
+
+    :class:`ArenaInternTable` catches this and degrades exactly like a
+    full :class:`~repro.core.types.InternTable`: the un-interned input
+    object is returned and a ``types.intern.full`` event is counted, so
+    the memory bound of a long-lived shared table is preserved.
+    """
+
+
+class Arena:
+    """Int-indexed type tables; see the module docstring for the layout."""
+
+    __slots__ = (
+        "tags",
+        "x",
+        "y",
+        "z",
+        "kids",
+        "strings",
+        "_string_ids",
+        "_memo",
+        "_views",
+        "_fuv_memo",
+        "_ftv_memo",
+        "capacity",
+        "_token",
+    )
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.tags = array("b")
+        self.x = array("q")
+        self.y = array("q")
+        self.z = array("q")
+        self.kids = array("q")
+        self.strings: list[str] = []
+        self._string_ids: dict[str, int] = {}
+        self._memo: dict[tuple, int] = {}
+        self._views: list[Type | None] = []
+        self._fuv_memo: dict[int, tuple[int, ...]] = {}
+        self._ftv_memo: dict[int, tuple[str, ...]] = {}
+        self.capacity = capacity
+        # Identity token cached on Type objects as ``_aid = (token, id)``;
+        # a plain object() so a stale cache entry from another arena only
+        # pins this tiny token, never the arena's arrays.
+        self._token = object()
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    # ------------------------------------------------------------------
+    # Node constructors (intern on the way in)
+    # ------------------------------------------------------------------
+
+    def _sid(self, name: str) -> int:
+        sid = self._string_ids.get(name)
+        if sid is None:
+            sid = len(self.strings)
+            self.strings.append(name)
+            self._string_ids[name] = sid
+        return sid
+
+    def _new_node(self, key: tuple, tag: int, x: int, y: int, z: int) -> int:
+        if self.capacity is not None and len(self.tags) >= self.capacity:
+            raise ArenaFull(len(self.tags))
+        node = len(self.tags)
+        self.tags.append(tag)
+        self.x.append(x)
+        self.y.append(y)
+        self.z.append(z)
+        self._views.append(None)
+        self._memo[key] = node
+        return node
+
+    def tvar(self, name: str) -> int:
+        key = (TAG_TVAR, self._sid(name))
+        node = self._memo.get(key)
+        if node is None:
+            node = self._new_node(key, TAG_TVAR, key[1], 0, 0)
+        return node
+
+    def uvar(self, name: str, sort: Sort, level: int) -> int:
+        key = (TAG_UVAR, self._sid(name), int(sort), level)
+        node = self._memo.get(key)
+        if node is None:
+            node = self._new_node(key, TAG_UVAR, key[1], int(sort), level)
+        return node
+
+    def tcon(self, name: str, args: tuple[int, ...] = ()) -> int:
+        key = (TAG_TCON, self._sid(name)) + args
+        node = self._memo.get(key)
+        if node is None:
+            start = len(self.kids)
+            node = self._new_node(key, TAG_TCON, key[1], start, len(args))
+            self.kids.extend(args)
+        return node
+
+    def tcon_by_sid(self, sid: int, args: tuple[int, ...] = ()) -> int:
+        """:meth:`tcon` addressed by an existing string id (hot paths)."""
+        key = (TAG_TCON, sid) + args
+        node = self._memo.get(key)
+        if node is None:
+            start = len(self.kids)
+            node = self._new_node(key, TAG_TCON, sid, start, len(args))
+            self.kids.extend(args)
+        return node
+
+    def forall_node(
+        self,
+        binders: tuple[int, ...],
+        body: int,
+        preds: tuple[tuple[int, tuple[int, ...]], ...] = (),
+    ) -> int:
+        """A quantified node: ``binders`` are string ids, ``preds`` are
+        ``(class name id, arg node ids)`` pairs."""
+        record: list[int] = list(binders)
+        record.append(body)
+        record.append(len(preds))
+        for class_id, args in preds:
+            record.append(class_id)
+            record.append(len(args))
+            record.extend(args)
+        key = (TAG_FORALL,) + tuple(record) + (len(binders),)
+        node = self._memo.get(key)
+        if node is None:
+            start = len(self.kids)
+            node = self._new_node(key, TAG_FORALL, start, len(record), len(binders))
+            self.kids.extend(record)
+        return node
+
+    # ------------------------------------------------------------------
+    # Field accessors
+    # ------------------------------------------------------------------
+
+    def uvar_sort(self, node: int) -> Sort:
+        return _SORTS[self.y[node]]
+
+    def uvar_sort_code(self, node: int) -> int:
+        return self.y[node]
+
+    def uvar_level(self, node: int) -> int:
+        return self.z[node]
+
+    def name_of(self, node: int) -> str:
+        """The name of a TVAR/UVAR/TCON node."""
+        return self.strings[self.x[node]]
+
+    def _forall_parts(
+        self, node: int
+    ) -> tuple[tuple[int, ...], int, list[tuple[int, tuple[int, ...]]]]:
+        """Decode a FORALL record: (binder sids, body id, preds)."""
+        kids = self.kids
+        start = self.x[node]
+        n_binders = self.z[node]
+        binders = tuple(kids[start : start + n_binders])
+        index = start + n_binders
+        body = kids[index]
+        index += 1
+        n_preds = kids[index]
+        index += 1
+        preds: list[tuple[int, tuple[int, ...]]] = []
+        for _ in range(n_preds):
+            class_id = kids[index]
+            n_args = kids[index + 1]
+            index += 2
+            preds.append((class_id, tuple(kids[index : index + n_args])))
+            index += n_args
+        return binders, body, preds
+
+    def children(self, node: int) -> Iterable[int]:
+        """Direct sub-type node ids (context args before body for ∀)."""
+        tag = self.tags[node]
+        if tag == TAG_TCON:
+            start, count = self.y[node], self.z[node]
+            return self.kids[start : start + count]
+        if tag == TAG_FORALL:
+            _, body, preds = self._forall_parts(node)
+            out: list[int] = []
+            for _, args in preds:
+                out.extend(args)
+            out.append(body)
+            return out
+        return ()
+
+    # ------------------------------------------------------------------
+    # Encoding Type objects into the arena
+    # ------------------------------------------------------------------
+
+    def id_of(self, type_: Type) -> int | None:
+        """The node id cached on the object by a previous crossing of this
+        arena's boundary, or ``None``."""
+        aid = type_.__dict__.get("_aid")
+        if aid is not None and aid[0] is self._token:
+            return aid[1]
+        return None
+
+    def _remember(self, type_: Type, node: int) -> None:
+        object.__setattr__(type_, "_aid", (self._token, node))
+        if self._views[node] is None:
+            self._views[node] = type_
+
+    def add(self, type_: Type) -> int:
+        """Encode a :class:`Type` into the arena, returning its node id.
+
+        Raises :class:`ArenaFull` when a bounded arena cannot hold a new
+        node (existing nodes are still found).  The id is cached on the
+        object, so re-encoding is one dict lookup.
+        """
+        cached = self.id_of(type_)
+        if cached is not None:
+            return cached
+        results: list[int] = []
+        stack: list[tuple[Type, bool]] = [(type_, False)]
+        while stack:
+            node, ready = stack.pop()
+            if not ready:
+                aid = self.id_of(node)
+                if aid is not None:
+                    results.append(aid)
+                elif isinstance(node, TVar):
+                    nid = self.tvar(node.name)
+                    self._remember(node, nid)
+                    results.append(nid)
+                elif isinstance(node, UVar):
+                    nid = self.uvar(node.name, node.sort, node.level)
+                    self._remember(node, nid)
+                    results.append(nid)
+                elif isinstance(node, TCon):
+                    stack.append((node, True))
+                    for argument in reversed(node.args):
+                        stack.append((argument, False))
+                elif isinstance(node, Forall):
+                    stack.append((node, True))
+                    stack.append((node.body, False))
+                    for predicate in reversed(node.context):
+                        for argument in reversed(predicate.args):
+                            stack.append((argument, False))
+                else:
+                    raise TypeError(f"unknown type node: {node!r}")
+            elif isinstance(node, TCon):
+                count = len(node.args)
+                args = tuple(results[-count:]) if count else ()
+                if count:
+                    del results[-count:]
+                nid = self.tcon(node.name, args)
+                self._remember(node, nid)
+                results.append(nid)
+            else:  # Forall
+                body = results.pop()
+                preds: list[tuple[int, tuple[int, ...]]] = []
+                index = len(results) - sum(len(p.args) for p in node.context)
+                flat = results[index:]
+                del results[index:]
+                offset = 0
+                for predicate in node.context:
+                    width = len(predicate.args)
+                    preds.append(
+                        (
+                            self._sid(predicate.class_name),
+                            tuple(flat[offset : offset + width]),
+                        )
+                    )
+                    offset += width
+                binders = tuple(self._sid(b) for b in node.binders)
+                nid = self.forall_node(binders, body, tuple(preds))
+                self._remember(node, nid)
+                results.append(nid)
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Decoding node ids back into canonical Type views
+    # ------------------------------------------------------------------
+
+    def view(self, node: int) -> Type:
+        """The canonical :class:`Type` for a node (memoised per id, so
+        ``view(i) is view(i)`` — object identity equals node identity)."""
+        cached = self._views[node]
+        if cached is not None:
+            return cached
+        views = self._views
+        results: list[Type] = []
+        stack: list[tuple[int, bool]] = [(node, False)]
+        while stack:
+            current, ready = stack.pop()
+            cached = views[current]
+            if cached is not None and not ready:
+                results.append(cached)
+                continue
+            tag = self.tags[current]
+            if not ready:
+                if tag == TAG_TVAR:
+                    built: Type = TVar(self.strings[self.x[current]])
+                elif tag == TAG_UVAR:
+                    built = UVar(
+                        self.strings[self.x[current]],
+                        _SORTS[self.y[current]],
+                        self.z[current],
+                    )
+                else:
+                    stack.append((current, True))
+                    for child in reversed(list(self.children(current))):
+                        stack.append((child, False))
+                    continue
+                self._remember(built, current)
+                results.append(views[current])
+                continue
+            if tag == TAG_TCON:
+                count = self.z[current]
+                args = tuple(results[-count:]) if count else ()
+                if count:
+                    del results[-count:]
+                built = TCon(self.strings[self.x[current]], args)
+            else:  # FORALL
+                binder_ids, _, preds = self._forall_parts(current)
+                body = results.pop()
+                n_args = sum(len(args) for _, args in preds)
+                index = len(results) - n_args
+                flat = results[index:]
+                del results[index:]
+                offset = 0
+                context: list[Pred] = []
+                for class_id, args in preds:
+                    width = len(args)
+                    context.append(
+                        Pred(
+                            self.strings[class_id],
+                            tuple(flat[offset : offset + width]),
+                        )
+                    )
+                    offset += width
+                built = Forall(
+                    tuple(self.strings[sid] for sid in binder_ids),
+                    body,
+                    tuple(context),
+                )
+            self._remember(built, current)
+            results.append(views[current])
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Hot-path queries: tight loops over the arrays
+    # ------------------------------------------------------------------
+
+    def fuv_ids(self, node: int) -> tuple[int, ...]:
+        """Free unification-variable node ids, first-occurrence pre-order
+        (matching :func:`repro.core.types.fuv` exactly), memoised."""
+        tag = self.tags[node]
+        if tag == TAG_UVAR:
+            return (node,)
+        if tag == TAG_TVAR:
+            return ()
+        cached = self._fuv_memo.get(node)
+        if cached is not None:
+            return cached
+        tags = self.tags
+        kids = self.kids
+        found: dict[int, None] = {}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            tag = tags[current]
+            if tag == TAG_UVAR:
+                found[current] = None
+            elif tag == TAG_TCON:
+                start, count = self.y[current], self.z[current]
+                for index in range(start + count - 1, start - 1, -1):
+                    stack.append(kids[index])
+            elif tag == TAG_FORALL:
+                _, body, preds = self._forall_parts(current)
+                stack.append(body)
+                for _, args in reversed(preds):
+                    for child in reversed(args):
+                        stack.append(child)
+        result = tuple(found)
+        self._fuv_memo[node] = result
+        return result
+
+    def ftv_names(self, node: int) -> tuple[str, ...]:
+        """Free rigid-variable names, first-occurrence pre-order (matching
+        :func:`repro.core.types.ftv`), memoised per node."""
+        tag = self.tags[node]
+        if tag == TAG_TVAR:
+            return (self.strings[self.x[node]],)
+        if tag == TAG_UVAR:
+            return ()
+        cached = self._ftv_memo.get(node)
+        if cached is not None:
+            return cached
+        tags = self.tags
+        kids = self.kids
+        found: dict[int, None] = {}
+        stack: list[tuple[int, frozenset[int]]] = [(node, frozenset())]
+        while stack:
+            current, bound = stack.pop()
+            tag = tags[current]
+            if tag == TAG_TVAR:
+                sid = self.x[current]
+                if sid not in bound:
+                    found[sid] = None
+            elif tag == TAG_TCON:
+                start, count = self.y[current], self.z[current]
+                for index in range(start + count - 1, start - 1, -1):
+                    stack.append((kids[index], bound))
+            elif tag == TAG_FORALL:
+                binder_ids, body, preds = self._forall_parts(current)
+                inner = bound | frozenset(binder_ids) if binder_ids else bound
+                stack.append((body, inner))
+                for _, args in reversed(preds):
+                    for child in reversed(args):
+                        stack.append((child, inner))
+        result = tuple(self.strings[sid] for sid in found)
+        self._ftv_memo[node] = result
+        return result
+
+    def mentions_forall(self, node: int) -> bool:
+        """Whether a quantifier occurs anywhere (eqfully's rejection test)."""
+        tags = self.tags
+        kids = self.kids
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            tag = tags[current]
+            if tag == TAG_FORALL:
+                return True
+            if tag == TAG_TCON:
+                start, count = self.y[current], self.z[current]
+                for index in range(start, start + count):
+                    stack.append(kids[index])
+        return False
+
+    def subst_uvar_ids(self, mapping: dict[int, int], node: int) -> int:
+        """Rebuild ``node`` replacing unification-variable nodes through
+        ``mapping`` (node id → node id); unchanged subtrees keep their id."""
+        if not mapping:
+            return node
+        tags = self.tags
+        results: list[int] = []
+        stack: list[tuple[int, bool]] = [(node, False)]
+        while stack:
+            current, ready = stack.pop()
+            tag = tags[current]
+            if not ready:
+                if tag == TAG_UVAR:
+                    results.append(mapping.get(current, current))
+                elif tag == TAG_TVAR:
+                    results.append(current)
+                else:
+                    stack.append((current, True))
+                    for child in reversed(list(self.children(current))):
+                        stack.append((child, False))
+            elif tag == TAG_TCON:
+                count = self.z[current]
+                args = tuple(results[-count:]) if count else ()
+                if count:
+                    del results[-count:]
+                start = self.y[current]
+                if all(
+                    args[i] == self.kids[start + i] for i in range(count)
+                ):
+                    results.append(current)
+                else:
+                    results.append(self.tcon(self.strings[self.x[current]], args))
+            else:  # FORALL
+                binder_ids, old_body, preds = self._forall_parts(current)
+                body = results.pop()
+                n_args = sum(len(args) for _, args in preds)
+                index = len(results) - n_args
+                flat = results[index:]
+                del results[index:]
+                changed = body != old_body
+                new_preds: list[tuple[int, tuple[int, ...]]] = []
+                offset = 0
+                for class_id, args in preds:
+                    width = len(args)
+                    new_args = tuple(flat[offset : offset + width])
+                    offset += width
+                    if new_args != args:
+                        changed = True
+                    new_preds.append((class_id, new_args))
+                if changed:
+                    results.append(
+                        self.forall_node(binder_ids, body, tuple(new_preds))
+                    )
+                else:
+                    results.append(current)
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialise the whole arena into one contiguous buffer.
+
+        Format (all integers little-endian): ``MAGIC`` (8 bytes, the
+        last byte is the format version), then ``<5q``: node count, kid
+        count, string count, string-blob byte length, capacity (−1 for
+        unbounded); then the ``\\x00``-joined UTF-8 string blob, then the
+        raw bytes of ``tags``/``x``/``y``/``z``/``kids``.  Type names
+        never contain NUL, so the join is unambiguous.
+        """
+        blob = "\x00".join(self.strings).encode("utf-8")
+        header = struct.pack(
+            "<5q",
+            len(self.tags),
+            len(self.kids),
+            len(self.strings),
+            len(blob),
+            -1 if self.capacity is None else self.capacity,
+        )
+        return b"".join(
+            (
+                MAGIC,
+                header,
+                blob,
+                self.tags.tobytes(),
+                self.x.tobytes(),
+                self.y.tobytes(),
+                self.z.tobytes(),
+                self.kids.tobytes(),
+            )
+        )
+
+    @classmethod
+    def restore(cls, buffer: bytes) -> "Arena":
+        """Rebuild an arena from :meth:`snapshot` output.
+
+        Node ids, strings and the intern map are reproduced exactly (the
+        map is re-derived from the arrays, so restoration is independent
+        of the hash seed the snapshot was taken under).
+        """
+        if buffer[: len(MAGIC)] != MAGIC:
+            raise ValueError("not an arena snapshot (bad magic/version)")
+        offset = len(MAGIC)
+        n_nodes, n_kids, n_strings, blob_len, capacity = struct.unpack_from(
+            "<5q", buffer, offset
+        )
+        offset += struct.calcsize("<5q")
+        blob = buffer[offset : offset + blob_len].decode("utf-8")
+        offset += blob_len
+        arena = cls(capacity=None if capacity < 0 else capacity)
+        arena.strings = blob.split("\x00") if n_strings else []
+        if len(arena.strings) != n_strings:
+            raise ValueError("corrupt arena snapshot: string count mismatch")
+        arena._string_ids = {name: sid for sid, name in enumerate(arena.strings)}
+        arena.tags = array("b")
+        arena.tags.frombytes(buffer[offset : offset + n_nodes])
+        offset += n_nodes
+        for attr in ("x", "y", "z"):
+            values = array("q")
+            values.frombytes(buffer[offset : offset + 8 * n_nodes])
+            offset += 8 * n_nodes
+            setattr(arena, attr, values)
+        kids = array("q")
+        kids.frombytes(buffer[offset : offset + 8 * n_kids])
+        arena.kids = kids
+        arena._views = [None] * n_nodes
+        arena._rebuild_memo()
+        return arena
+
+    def _rebuild_memo(self) -> None:
+        """Re-derive the intern map from the arrays (restore path)."""
+        memo: dict[tuple, int] = {}
+        for node in range(len(self.tags)):
+            tag = self.tags[node]
+            if tag == TAG_TVAR:
+                key: tuple = (TAG_TVAR, self.x[node])
+            elif tag == TAG_UVAR:
+                key = (TAG_UVAR, self.x[node], self.y[node], self.z[node])
+            elif tag == TAG_TCON:
+                start, count = self.y[node], self.z[node]
+                key = (TAG_TCON, self.x[node]) + tuple(
+                    self.kids[start : start + count]
+                )
+            else:
+                start, length = self.x[node], self.y[node]
+                key = (
+                    (TAG_FORALL,)
+                    + tuple(self.kids[start : start + length])
+                    + (self.z[node],)
+                )
+            memo[key] = node
+        self._memo = memo
+
+
+class ArenaInternTable(InternTable):
+    """An :class:`~repro.core.types.InternTable` whose backing store is an
+    :class:`Arena`.
+
+    ``intern`` encodes the type into the arena and returns the canonical
+    view, so object identity coincides with structural identity *across
+    sessions and processes* (a restored table yields the same ids).  A
+    full arena degrades exactly like a full ``InternTable`` — the input
+    is returned un-interned and counted in ``full_events`` — so a
+    long-lived daemon's memory bound is preserved.
+    """
+
+    __slots__ = ("arena",)
+
+    def __init__(
+        self, capacity: int | None = None, arena: Arena | None = None
+    ) -> None:
+        super().__init__(capacity=capacity)
+        self.arena = arena if arena is not None else Arena(capacity=capacity)
+
+    def intern(self, type_: Type) -> Type:
+        before = len(self.arena)
+        try:
+            node = self.arena.add(type_)
+        except ArenaFull:
+            self.full_events += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.inc("types.intern.full")
+            return type_
+        if len(self.arena) == before:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return self.arena.view(node)
+
+    def clear(self) -> None:
+        self.arena = Arena(capacity=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self.arena)
+
+    def snapshot(self) -> bytes:
+        return self.arena.snapshot()
+
+    @classmethod
+    def restore(cls, buffer: bytes) -> "ArenaInternTable":
+        arena = Arena.restore(buffer)
+        return cls(capacity=arena.capacity, arena=arena)
+
+
+def snapshot_environment(env) -> bytes:
+    """Intern every binding type of an environment into a fresh arena and
+    snapshot it — the buffer a worker process restores at startup so the
+    prelude is never re-interned per worker (see ``repro batch --jobs``)."""
+    table = ArenaInternTable()
+    for _, type_ in env.items():
+        table.intern(type_)
+    for name in getattr(env, "_datacons", {}):
+        datacon = env.lookup_datacon(name)
+        for field in datacon.fields:
+            table.intern(field)
+    return table.snapshot()

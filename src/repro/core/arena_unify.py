@@ -1,0 +1,635 @@
+"""Arena-backed unifier: the substitution store and free-variable
+queries of :class:`~repro.core.unify.Unifier` rebuilt over int node ids.
+
+The object-level algorithms — worklist unification, zonk rebuilds,
+sort enforcement, promotion, skolem checks — are inherited or copied
+verbatim from the base class, so every observable (supply draws, tracer
+events, error types, returned object identity for unchanged subtrees)
+is byte-identical to the view-layer fallback.  What changes is the
+*storage layer*:
+
+* union-find parent/rank/binding live in dense Python lists indexed by
+  arena node id (``-1`` = absent), so ``find``/``union``/cleanliness are
+  integer loops with no hashing and no per-step allocation;
+* free-unification-variable and free-rigid-variable queries delegate to
+  the arena's id-level memos (:meth:`Arena.fuv_ids` /
+  :meth:`Arena.ftv_names`), which are shared by every consumer of the
+  arena rather than per-unifier;
+* a parallel id-level API (:meth:`fresh_id`, :meth:`assign_id`,
+  :meth:`zonk_id`) lets power callers (benchmarks, batch drivers) run
+  whole chains without ever materialising a ``Type`` object.
+
+Identity contract: ``_bnd_obj`` keeps, per representative, the exact
+object the base unifier would have stored (zonk results interned through
+``self._intern``), so code upstream that relies on ``is``-equality of
+zonk output (e.g. ``deep_prenex`` fixed points) behaves identically in
+both modes.  The id column ``_bnd`` always describes the same structural
+type; pure-id callers never touch the object column.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.arena import TAG_FORALL, TAG_TCON, TAG_TVAR, TAG_UVAR, Arena
+from repro.core.errors import OccursCheckError
+from repro.core.names import NameSupply
+from repro.core.sorts import Sort
+from repro.core.types import Forall, InternTable, Pred, TCon, TVar, Type, UVar
+from repro.core.unify import SubstitutionView, Unifier
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.tracer import TracerLike
+    from repro.robustness.budget import Budget
+    from repro.robustness.faultinject import FaultPlan
+
+
+def arena_enabled(flag: "bool | None" = None) -> bool:
+    """Resolve the arena switch: an explicit flag wins, otherwise the
+    ``REPRO_ARENA`` environment variable (default on; ``0``/``off``/
+    ``false`` select the object-level fallback)."""
+    if flag is not None:
+        return flag
+    import os
+
+    return os.environ.get("REPRO_ARENA", "1").lower() not in ("0", "off", "false")
+
+
+def make_unifier(
+    supply: NameSupply | None = None,
+    budget: "Budget | None" = None,
+    faults: "FaultPlan | None" = None,
+    tracer: "TracerLike | None" = None,
+    intern: InternTable | None = None,
+    arena: "bool | None" = None,
+) -> Unifier:
+    """Construct the configured unifier (arena-backed or fallback)."""
+    if arena_enabled(arena):
+        return ArenaUnifier(
+            supply, budget=budget, faults=faults, tracer=tracer, intern=intern
+        )
+    return Unifier(
+        supply, budget=budget, faults=faults, tracer=tracer, intern=intern
+    )
+
+
+class ArenaSubstitutionView(SubstitutionView):
+    """The :class:`SubstitutionView` facade over the dense int store."""
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        unifier = self._unifier
+        return unifier._npar + unifier._nbnd
+
+    def __bool__(self) -> bool:
+        unifier = self._unifier
+        return (unifier._npar + unifier._nbnd) > 0
+
+    def __contains__(self, variable: object) -> bool:
+        if not isinstance(variable, UVar):
+            return False
+        unifier = self._unifier
+        nid = unifier._tid(variable)
+        return unifier._par[nid] >= 0 or unifier._bnd[nid] >= 0
+
+    def __iter__(self) -> Iterator[UVar]:
+        unifier = self._unifier
+        view = unifier._arena.view
+        par = unifier._par
+        bnd = unifier._bnd
+        for nid in range(len(par)):
+            if par[nid] >= 0:
+                yield view(nid)
+        for nid in range(len(bnd)):
+            if bnd[nid] >= 0:
+                yield view(nid)
+
+    def get(self, variable: UVar, default: Type | None = None) -> Type | None:
+        unifier = self._unifier
+        nid = unifier._tid(variable)
+        parent = unifier._par[nid]
+        if parent >= 0:
+            return unifier._arena.view(parent)
+        if unifier._bnd[nid] >= 0:
+            return unifier._bound_obj(nid)
+        return default
+
+
+class ArenaUnifier(Unifier):
+    """A drop-in :class:`Unifier` whose store is int-indexed.
+
+    The arena is run-local and unbounded: per-run unification variables
+    never pressure a capacity-bounded shared table (the shared
+    ``intern`` hook is still honoured for zonk-rebuilt nodes, exactly
+    like the base class).
+    """
+
+    def __init__(
+        self,
+        supply: NameSupply | None = None,
+        budget: "Budget | None" = None,
+        faults: "FaultPlan | None" = None,
+        tracer: "TracerLike | None" = None,
+        intern: InternTable | None = None,
+        arena: Arena | None = None,
+    ) -> None:
+        super().__init__(supply, budget, faults, tracer, intern)
+        self._arena = arena if arena is not None else Arena()
+        size = len(self._arena)
+        self._par: list[int] = [-1] * size
+        self._rnk: list[int] = [0] * size
+        self._bnd: list[int] = [-1] * size
+        self._bnd_obj: dict[int, Type] = {}
+        self._fuv_view_cache: dict[int, tuple[UVar, ...]] = {}
+        # Nodes with no free unification variables are clean forever —
+        # membership here short-circuits the hot clean check in zonk_id.
+        self._ground: set[int] = set()
+        self._npar = 0
+        self._nbnd = 0
+        self.subst = ArenaSubstitutionView(self)
+
+    # -- boundary -------------------------------------------------------
+
+    def _grow(self) -> None:
+        missing = len(self._arena) - len(self._par)
+        if missing > 0:
+            self._par.extend([-1] * missing)
+            self._rnk.extend([0] * missing)
+            self._bnd.extend([-1] * missing)
+
+    def _tid(self, type_: Type) -> int:
+        """Node id of a type, encoding it into the arena on first sight."""
+        arena = self._arena
+        aid = type_.__dict__.get("_aid")
+        if aid is not None and aid[0] is arena._token:
+            nid = aid[1]
+        else:
+            nid = arena.add(type_)
+        if nid >= len(self._par):
+            self._grow()
+        return nid
+
+    def _bound_obj(self, root: int) -> Type:
+        """The bound image as an object (lazy view when only the id-level
+        API has touched this representative)."""
+        obj = self._bnd_obj.get(root)
+        if obj is None:
+            obj = self._arena.view(self._bnd[root])
+            self._bnd_obj[root] = obj
+        return obj
+
+    # -- substitution ---------------------------------------------------
+
+    def _find_id(self, nid: int) -> int:
+        par = self._par
+        step = par[nid]
+        if step < 0:
+            return nid
+        root = step
+        while True:
+            step = par[root]
+            if step < 0:
+                break
+            root = step
+        current = nid
+        while True:
+            step = par[current]
+            if step == root:
+                break
+            par[current] = root
+            current = step
+        return root
+
+    def _find(self, variable: UVar) -> UVar:
+        return self._arena.view(self._find_id(self._tid(variable)))
+
+    def fuv_of(self, type_: Type) -> tuple[UVar, ...]:
+        if isinstance(type_, UVar):
+            return (type_,)
+        if isinstance(type_, TVar):
+            return ()
+        tid = self._tid(type_)
+        cached = self._fuv_view_cache.get(tid)
+        if cached is None:
+            view = self._arena.view
+            cached = tuple(view(i) for i in self._arena.fuv_ids(tid))
+            self._fuv_view_cache[tid] = cached
+        return cached
+
+    def ftv_of(self, type_: Type) -> tuple[str, ...]:
+        if isinstance(type_, TVar):
+            return (type_.name,)
+        if isinstance(type_, UVar):
+            return ()
+        return self._arena.ftv_names(self._tid(type_))
+
+    def _clean_id(self, nid: int) -> bool:
+        fuv = self._arena.fuv_ids(nid)
+        if not fuv:
+            self._ground.add(nid)
+            return True
+        par = self._par
+        bnd = self._bnd
+        for variable in fuv:
+            if par[variable] >= 0 or bnd[variable] >= 0:
+                return False
+        return True
+
+    def _is_clean(self, type_: Type) -> bool:
+        return self._clean_id(self._tid(type_))
+
+    def zonk(self, type_: Type) -> Type:
+        if isinstance(type_, UVar):
+            root = self._find_id(self._tid(type_))
+            bid = self._bnd[root]
+            if bid < 0:
+                return self._arena.view(root)
+            if self._clean_id(bid):
+                return self._bound_obj(root)
+            expanded = self._zonk_rebuild(self._bound_obj(root))
+            self._bnd_obj[root] = expanded
+            self._bnd[root] = self._tid(expanded)
+            return expanded
+        if isinstance(type_, TVar):
+            return type_
+        if self._clean_id(self._tid(type_)):
+            return type_
+        return self._zonk_rebuild(type_)
+
+    def _zonk_rebuild(self, type_: Type) -> Type:
+        """Base algorithm verbatim; only the store reads/writes differ.
+
+        Frame kinds: 0 = visit, 1 = build, 2 = memo (payload is the
+        representative's node id).
+        """
+        intern = self._intern.intern
+        bnd = self._bnd
+        results: list[Type] = []
+        stack: list[tuple[int, object]] = [(0, type_)]
+        while stack:
+            kind, node = stack.pop()
+            if kind == 0:
+                if isinstance(node, UVar):
+                    root = self._find_id(self._tid(node))
+                    bid = bnd[root]
+                    if bid < 0:
+                        results.append(self._arena.view(root))
+                    elif self._clean_id(bid):
+                        results.append(self._bound_obj(root))
+                    else:
+                        stack.append((2, root))
+                        stack.append((0, self._bound_obj(root)))
+                elif isinstance(node, TVar):
+                    results.append(node)
+                elif isinstance(node, TCon):
+                    stack.append((1, node))
+                    for argument in reversed(node.args):
+                        stack.append((0, argument))
+                elif isinstance(node, Forall):
+                    stack.append((1, node))
+                    stack.append((0, node.body))
+                    for predicate in reversed(node.context):
+                        for argument in reversed(predicate.args):
+                            stack.append((0, argument))
+                else:
+                    raise TypeError(f"unknown type node: {node!r}")
+            elif kind == 1:
+                if isinstance(node, TCon):
+                    count = len(node.args)
+                    if count:
+                        args = tuple(results[-count:])
+                        del results[-count:]
+                        if all(a is b for a, b in zip(args, node.args)):
+                            results.append(node)
+                        else:
+                            results.append(intern(TCon(node.name, args)))
+                    else:
+                        results.append(node)
+                else:  # Forall
+                    body = results.pop()
+                    count = sum(len(p.args) for p in node.context)
+                    flat = results[-count:] if count else []
+                    if count:
+                        del results[-count:]
+                    changed = body is not node.body
+                    context: list[Pred] = []
+                    index = 0
+                    for predicate in node.context:
+                        width = len(predicate.args)
+                        new_args = tuple(flat[index : index + width])
+                        index += width
+                        if all(a is b for a, b in zip(new_args, predicate.args)):
+                            context.append(predicate)
+                        else:
+                            context.append(Pred(predicate.class_name, new_args))
+                            changed = True
+                    if changed:
+                        results.append(
+                            intern(Forall(node.binders, body, tuple(context)))
+                        )
+                    else:
+                        results.append(node)
+            else:  # memo: write the expansion back into the store
+                expansion = results[-1]
+                self._bnd_obj[node] = expansion
+                bnd[node] = self._tid(expansion)
+        return results[0]
+
+    def zonk_head(self, type_: Type) -> Type:
+        if not isinstance(type_, UVar):
+            return type_
+        root = self._find_id(self._tid(type_))
+        if self._bnd[root] < 0:
+            return self._arena.view(root)
+        return self._bound_obj(root)
+
+    # -- variable binding -----------------------------------------------
+
+    def bind(
+        self, variable: UVar, type_: Type, resolver=None
+    ) -> None:
+        root_id = self._find_id(self._tid(variable))
+        root = self._arena.view(root_id)
+        type_ = self.zonk(type_)
+        if type_ == root:
+            return
+        if isinstance(type_, UVar):
+            self._bind_var_var(root, type_)
+            return
+        if root_id in self._arena.fuv_ids(self._tid(type_)):
+            raise OccursCheckError(root, type_)
+        type_ = self._enforce_sort(root, type_)
+        type_ = self._promote(root, type_)
+        self._check_skolems(root, type_)
+        if self._bnd[root_id] < 0:
+            self._nbnd += 1
+        self._bnd[root_id] = self._tid(type_)
+        self._bnd_obj[root_id] = type_
+        self.bindings += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.inc("unify.binds")
+            self.tracer.event(
+                "unify.bind",
+                var=str(root),
+                type=str(type_),
+                sort=root.sort.symbol,
+                level=root.level,
+            )
+        self._notify(root)
+
+    def assign(self, variable: UVar, image: Type) -> None:
+        root_id = self._find_id(self._tid(variable))
+        if isinstance(image, UVar):
+            target = self._find_id(self._tid(image))
+            if target == root_id:
+                return
+            self._union_ids(root_id, target)
+            callback = self.on_bind
+            if callback is not None:
+                callback(self._arena.view(root_id))
+            return
+        if self._bnd[root_id] < 0:
+            self._nbnd += 1
+        self._bnd[root_id] = self._tid(image)
+        self._bnd_obj[root_id] = image
+        self.bindings += 1
+        callback = self.on_bind
+        if callback is not None:
+            callback(self._arena.view(root_id))
+
+    def _union_ids(self, eliminated: int, kept: int) -> None:
+        if self._par[eliminated] < 0:
+            self._npar += 1
+        self._par[eliminated] = kept
+        rnk = self._rnk
+        if rnk[kept] <= rnk[eliminated]:
+            rnk[kept] = rnk[eliminated] + 1
+        self.bindings += 1
+
+    def _union(self, eliminated: UVar, kept: UVar) -> None:
+        self._union_ids(self._tid(eliminated), self._tid(kept))
+        self._notify(eliminated)
+
+    def _bind_var_var(self, left: UVar, right: UVar) -> None:
+        # Base logic verbatim; rank lives in the int column.
+        if left.sort < right.sort:
+            left, right = right, left
+        elif left.sort == right.sort and left.level < right.level:
+            left, right = right, left
+        if right.level > left.level:
+            promoted = self.fresh(right.sort, left.level)
+            self._union(right, promoted)
+            right = promoted
+        if left.sort is right.sort and left.level == right.level:
+            rnk = self._rnk
+            if rnk[self._tid(right)] < rnk[self._tid(left)]:
+                left, right = right, left
+        self._union(left, right)
+
+    # -- id-level fast path ---------------------------------------------
+
+    def fresh_id(self, sort: Sort, level: int) -> int:
+        """A fresh unification variable as a bare node id."""
+        nid = self._arena.uvar(self.supply.fresh(), sort, level)
+        if nid >= len(self._par):
+            self._grow()
+        return nid
+
+    def assign_id(self, var_id: int, image_id: int) -> None:
+        """Id-level :meth:`assign`: no sort/level/occurs checks, unions
+        var→var images and stores anything else, zero allocation when no
+        wake-up callback is attached."""
+        par = self._par
+        if image_id >= len(par):
+            self._grow()
+            par = self._par
+        root = var_id
+        step = par[root]
+        while step >= 0:
+            root = step
+            step = par[root]
+        if par[var_id] >= 0 and par[var_id] != root:
+            self._find_id(var_id)
+        if self._arena.tags[image_id] == TAG_UVAR:
+            target = image_id
+            step = par[target]
+            while step >= 0:
+                target = step
+                step = par[target]
+            if target == root:
+                return
+            if par[root] < 0:
+                self._npar += 1
+            par[root] = target
+            rnk = self._rnk
+            if rnk[target] <= rnk[root]:
+                rnk[target] = rnk[root] + 1
+            self.bindings += 1
+        else:
+            if self._bnd[root] < 0:
+                self._nbnd += 1
+            self._bnd[root] = image_id
+            self._bnd_obj.pop(root, None)
+            self.bindings += 1
+        callback = self.on_bind
+        if callback is not None:
+            callback(self._arena.view(root))
+
+    def zonk_id(self, nid: int) -> int:
+        """Fully apply the substitution at the id level.
+
+        The traversal is the same visit/build/memo machine as the object
+        zonk, but every frame is a pair of ints and rebuilt nodes go
+        straight through the arena constructors — no ``Type`` objects,
+        no hashing, no per-step allocation beyond the result tuples.
+        """
+        arena = self._arena
+        par = self._par
+        if len(par) < len(arena):
+            self._grow()
+            par = self._par
+        tags = arena.tags
+        bnd = self._bnd
+        if tags[nid] == TAG_UVAR:
+            # Fast path for the dominant query shape — a bare variable
+            # whose image (if any) is already fully zonked: one inlined
+            # find with path compression, no frame machine.
+            root = nid
+            step = par[root]
+            while step >= 0:
+                root = step
+                step = par[root]
+            if par[nid] >= 0 and par[nid] != root:
+                current = nid
+                while True:
+                    step = par[current]
+                    if step == root:
+                        break
+                    par[current] = root
+                    current = step
+            bid = bnd[root]
+            if bid < 0:
+                return root
+            if bid in self._ground or self._clean_id(bid):
+                return bid
+        results: list[int] = []
+        stack: list[tuple[int, int]] = [(0, nid)]
+        while stack:
+            kind, node = stack.pop()
+            if kind == 0:
+                tag = tags[node]
+                if tag == TAG_UVAR:
+                    root = self._find_id(node)
+                    bid = bnd[root]
+                    if bid < 0:
+                        results.append(root)
+                    elif self._clean_id(bid):
+                        results.append(bid)
+                    else:
+                        stack.append((2, root))
+                        stack.append((0, bid))
+                elif tag == TAG_TVAR:
+                    results.append(node)
+                elif self._clean_id(node):
+                    results.append(node)
+                elif tag == TAG_TCON:
+                    stack.append((1, node))
+                    start, count = arena.y[node], arena.z[node]
+                    kids = arena.kids
+                    for index in range(start + count - 1, start - 1, -1):
+                        stack.append((0, kids[index]))
+                else:  # FORALL
+                    stack.append((1, node))
+                    _, body, preds = arena._forall_parts(node)
+                    stack.append((0, body))
+                    for _, args in reversed(preds):
+                        for child in reversed(args):
+                            stack.append((0, child))
+            elif kind == 1:
+                tag = tags[node]
+                if tag == TAG_TCON:
+                    count = arena.z[node]
+                    args = tuple(results[-count:]) if count else ()
+                    if count:
+                        del results[-count:]
+                    start = arena.y[node]
+                    kids = arena.kids
+                    if all(args[i] == kids[start + i] for i in range(count)):
+                        results.append(node)
+                    else:
+                        results.append(arena.tcon_by_sid(arena.x[node], args))
+                        if len(self._par) < len(arena):
+                            self._grow()
+                else:  # FORALL
+                    binder_ids, old_body, preds = arena._forall_parts(node)
+                    body = results.pop()
+                    n_args = sum(len(args) for _, args in preds)
+                    index = len(results) - n_args
+                    flat = results[index:]
+                    del results[index:]
+                    changed = body != old_body
+                    new_preds: list[tuple[int, tuple[int, ...]]] = []
+                    offset = 0
+                    for class_id, args in preds:
+                        width = len(args)
+                        new_args = tuple(flat[offset : offset + width])
+                        offset += width
+                        if new_args != args:
+                            changed = True
+                        new_preds.append((class_id, new_args))
+                    if changed:
+                        results.append(
+                            arena.forall_node(binder_ids, body, tuple(new_preds))
+                        )
+                        if len(self._par) < len(arena):
+                            self._grow()
+                    else:
+                        results.append(node)
+            else:  # memo
+                expansion = results[-1]
+                bnd[node] = expansion
+                self._bnd_obj.pop(node, None)
+        return results[0]
+
+    def zonk_ids(self, ids) -> list[int]:
+        """Batch :meth:`zonk_id` — the shape generalisation sweeps want
+        (zonk every free variable of a scope in one call).  The bare-
+        variable fast path is inlined once for the whole batch, so the
+        per-id cost is a handful of array reads; anything structured
+        falls back to the frame machine."""
+        arena = self._arena
+        par = self._par
+        if len(par) < len(arena):
+            self._grow()
+            par = self._par
+        tags = arena.tags
+        bnd = self._bnd
+        ground = self._ground
+        zonk = self.zonk_id
+        out: list[int] = []
+        append = out.append
+        for nid in ids:
+            if tags[nid] == TAG_UVAR:
+                root = nid
+                step = par[root]
+                while step >= 0:
+                    root = step
+                    step = par[root]
+                if par[nid] >= 0 and par[nid] != root:
+                    current = nid
+                    while True:
+                        step = par[current]
+                        if step == root:
+                            break
+                        par[current] = root
+                        current = step
+                bid = bnd[root]
+                if bid < 0:
+                    append(root)
+                    continue
+                if bid in ground or self._clean_id(bid):
+                    append(bid)
+                    continue
+            append(zonk(nid))
+        return out

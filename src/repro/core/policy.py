@@ -146,7 +146,7 @@ def has_nested_forall(type_: Type) -> bool:
             return False
 
 
-def deep_prenex(type_: Type) -> Type:
+def deep_prenex(type_: Type, intern=None) -> Type:
     """Hoist quantifiers (and their contexts) buried to the right of
     arrows into a single prenex — GHC's ``deeplySkolemise`` shape.
 
@@ -157,6 +157,15 @@ def deep_prenex(type_: Type) -> Type:
     rewrite is capture-avoiding; when nothing needs hoisting the input is
     returned unchanged (object identity), keeping the eager paths free of
     re-allocation.
+
+    The fixed point is detected *by identity* (``deep_prenex(t) is t``),
+    so a reconstructed result must itself be canonical: pass the run's
+    ``intern`` table (:class:`~repro.core.types.InternTable` or the
+    arena-backed variant) and the rebuilt prenex is re-interned, keeping
+    object identity equal to structural identity even when the same type
+    is hoisted again through a second, fresh-but-shared table (the serve
+    multi-session case).  Without a table the rebuild is returned as
+    constructed — correct, but a fresh object per call.
     """
     if not has_nested_forall(type_):
         return type_
@@ -198,4 +207,5 @@ def deep_prenex(type_: Type) -> Type:
     body = current
     for argument in reversed(spine):
         body = fun(argument, body)
-    return forall(binders, body, tuple(context))
+    result = forall(binders, body, tuple(context))
+    return intern.intern(result) if intern is not None else result

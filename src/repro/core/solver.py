@@ -141,9 +141,13 @@ class Solver:
         wake_queue: bool = True,
         intern=None,
         policy: InstantiationPolicy = DEFAULT_POLICY,
+        arena: bool | None = None,
     ) -> None:
-        self.unifier = Unifier(
-            supply, budget=budget, faults=faults, tracer=tracer, intern=intern
+        from repro.core.arena_unify import make_unifier
+
+        self.unifier = make_unifier(
+            supply, budget=budget, faults=faults, tracer=tracer, intern=intern,
+            arena=arena,
         )
         self.evidence = evidence or EvidenceStore()
         self.instances = instances or InstanceEnv()
@@ -392,7 +396,7 @@ class Solver:
             # of arrows before deciding which rule fires, so e.g.
             # ``Int -> ∀a. a -> a`` instantiates like ``∀a. Int -> a -> a``
             # (GHC ≤ 8.10's ``deeplyInstantiate``).
-            lhs = deep_prenex(lhs)
+            lhs = deep_prenex(lhs, intern=self.unifier._intern)
         if isinstance(lhs, Forall):
             self._inst_forall_left(lhs, constraint, scope)
             return
@@ -513,7 +517,7 @@ class Solver:
             # Deep skolemisation: prenex the target before the Forall
             # check so nested quantifiers are skolemised too (GHC ≤
             # 8.10's ``deeplySkolemise``).
-            rhs = deep_prenex(rhs)
+            rhs = deep_prenex(rhs, intern=self.unifier._intern)
         if isinstance(rhs, UVar) and rhs.sort is Sort.U:
             # The right-hand side might yet become polymorphic, in which
             # case we must skolemise (Section 4.3.2, case 2) — wait.

@@ -111,7 +111,11 @@ class TVar(Type):
         return self.name == other.name
 
     def __hash__(self) -> int:
-        return hash(("TVar", self.name))
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(("TVar", self.name))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 @dataclass(frozen=True, eq=False)
@@ -144,7 +148,11 @@ class UVar(Type):
         )
 
     def __hash__(self) -> int:
-        return hash(("UVar", self.name, self.sort, self.level))
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(("UVar", self.name, self.sort, self.level))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 @dataclass(frozen=True, eq=False)
@@ -293,22 +301,53 @@ class InternTable:
     shared table — once full, :meth:`intern` stops storing new nodes and
     simply returns its argument, so a daemon's memory cannot grow without
     bound with request traffic.
+
+    That degradation is silent from the caller's perspective — the
+    un-interned object is structurally correct, it just stops hitting
+    identity-keyed caches — so the table counts it: ``full_events``
+    (``intern`` calls that hit the bound), plus ``hits``/``misses`` so a
+    daemon's cache hit rate stays observable after capacity is reached.
+    Attach a tracer (:meth:`attach_tracer`) to also emit each full event
+    as a ``types.intern.full`` counter.
     """
 
-    __slots__ = ("_table", "capacity")
+    __slots__ = ("_table", "capacity", "hits", "misses", "full_events", "tracer")
 
     def __init__(self, capacity: int | None = None) -> None:
         self._table: dict[Type, Type] = {}
         self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.full_events = 0
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit ``types.intern.full`` on the tracer when the bound is hit."""
+        self.tracer = tracer
 
     def intern(self, type_: Type) -> Type:
         cached = self._table.get(type_)
         if cached is not None:
+            self.hits += 1
             return cached
         if self.capacity is not None and len(self._table) >= self.capacity:
+            self.full_events += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.inc("types.intern.full")
             return type_
+        self.misses += 1
         self._table[type_] = type_
         return type_
+
+    def stats(self) -> dict[str, int]:
+        """Observable counters for daemon ``stats`` surfaces."""
+        return {
+            "size": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "full_events": self.full_events,
+        }
 
     def clear(self) -> None:
         self._table.clear()

@@ -165,6 +165,7 @@ class GIServer:
 
             self._writer = JsonlWriter(open(config.trace_path, "w", encoding="utf-8"))
             self.tracer = Tracer(sink=self._writer, retain_events=False)
+            self.intern.attach_tracer(self.tracer)
         self._executor: ThreadPoolExecutor | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -777,6 +778,7 @@ class GIServer:
             },
             "sessions": len(self.sessions),
             "intern_size": len(self.intern),
+            "intern": self.intern.stats(),
             "latency_ms": latency,
         }
 

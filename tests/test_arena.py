@@ -1,0 +1,457 @@
+"""The int-indexed arena type core: encoding, snapshot/restore, the
+arena-backed unifier's parity with the object-level fallback, and the
+interning satellites (capacity-full observability, ``deep_prenex``
+re-interning)."""
+
+import pytest
+
+from repro.core.arena import (
+    Arena,
+    ArenaFull,
+    ArenaInternTable,
+    snapshot_environment,
+)
+from repro.core.arena_unify import ArenaUnifier, arena_enabled, make_unifier
+from repro.core.env import Environment
+from repro.core.errors import GIError
+from repro.core.infer import Inferencer, InferOptions
+from repro.core.names import NameSupply
+from repro.core.policy import deep_prenex
+from repro.core.sorts import Sort
+from repro.core.types import (
+    Forall,
+    InternTable,
+    Pred,
+    TCon,
+    TVar,
+    UVar,
+    forall,
+    fun,
+    ftv,
+    fuv,
+    subst_uvars,
+)
+from repro.core.unify import Unifier
+
+
+def sample_types():
+    a, b = TVar("a"), TVar("b")
+    u = UVar("u", Sort.U, 0)
+    m = UVar("m", Sort.M, 2)
+    return [
+        TCon("Int"),
+        a,
+        u,
+        m,
+        fun(TCon("Int"), TCon("Bool")),
+        TCon("List", (fun(a, u),)),
+        forall(["a"], fun(a, a)),
+        forall(["a", "b"], fun(a, fun(b, a))),
+        Forall(("a",), fun(a, a), (Pred("Eq", (a,)),)),
+        Forall(("a", "b"), fun(a, b), (Pred("Ord", (a,)), Pred("Show", (b,)))),
+        fun(forall(["a"], fun(a, a)), TCon("Int")),
+    ]
+
+
+class TestArenaEncoding:
+    def test_roundtrip_preserves_structure(self):
+        arena = Arena()
+        for type_ in sample_types():
+            node = arena.add(type_)
+            assert arena.view(node) == type_
+
+    def test_structural_identity_is_node_identity(self):
+        arena = Arena()
+        first = fun(TVar("a"), TCon("Int"))
+        second = fun(TVar("a"), TCon("Int"))
+        assert first is not second
+        assert arena.add(first) == arena.add(second)
+        node = arena.add(first)
+        assert arena.view(node) is arena.view(node)
+
+    def test_fuv_order_matches_object_level(self):
+        arena = Arena()
+        u1, u2, u3 = UVar("u1"), UVar("u2", Sort.M, 1), UVar("u3", Sort.T, 2)
+        type_ = TCon("T", (fun(u2, u1), u3, u2))
+        node = arena.add(type_)
+        names = [arena.name_of(i) for i in arena.fuv_ids(node)]
+        assert names == [v.name for v in fuv(type_)]
+
+    def test_fuv_order_in_forall_context(self):
+        arena = Arena()
+        u1, u2 = UVar("u1"), UVar("u2")
+        type_ = Forall(("a",), fun(u1, TVar("a")), (Pred("Eq", (u2,)),))
+        node = arena.add(type_)
+        names = [arena.name_of(i) for i in arena.fuv_ids(node)]
+        assert names == [v.name for v in fuv(type_)]
+
+    def test_ftv_respects_binders_and_order(self):
+        arena = Arena()
+        type_ = forall(["b"], fun(TVar("b"), fun(TVar("c"), TVar("d"))))
+        node = arena.add(type_)
+        assert list(arena.ftv_names(node)) == list(ftv(type_))
+
+    def test_subst_uvar_ids_matches_object_subst(self):
+        arena = Arena()
+        u1, u2 = UVar("u1"), UVar("u2")
+        type_ = TCon("Pair", (fun(u1, u2), u1))
+        node = arena.add(type_)
+        mapping = {arena.add(u1): arena.add(TCon("Int"))}
+        rewritten = arena.subst_uvar_ids(mapping, node)
+        assert arena.view(rewritten) == subst_uvars({u1: TCon("Int")}, type_)
+
+    def test_subst_unchanged_subtree_keeps_id(self):
+        arena = Arena()
+        type_ = fun(TCon("Int"), TCon("Bool"))
+        node = arena.add(type_)
+        assert arena.subst_uvar_ids({arena.add(UVar("zz")): node}, node) == node
+
+    def test_mentions_forall(self):
+        arena = Arena()
+        flat = arena.add(fun(TCon("Int"), TCon("Bool")))
+        nested = arena.add(TCon("List", (forall(["a"], fun(TVar("a"), TVar("a"))),)))
+        assert not arena.mentions_forall(flat)
+        assert arena.mentions_forall(nested)
+
+    def test_bounded_arena_raises_arena_full(self):
+        arena = Arena(capacity=2)
+        arena.add(TCon("Int"))
+        arena.add(TCon("Bool"))
+        assert arena.add(TCon("Int")) == 0  # existing nodes still found
+        with pytest.raises(ArenaFull):
+            arena.add(TCon("Char"))
+
+
+class TestSnapshotRestore:
+    def test_restore_reproduces_ids_and_views(self):
+        arena = Arena()
+        nodes = [(arena.add(t), t) for t in sample_types()]
+        restored = Arena.restore(arena.snapshot())
+        assert len(restored) == len(arena)
+        for node, type_ in nodes:
+            assert restored.view(node) == type_
+            assert restored.add(type_) == node  # memo rebuilt exactly
+
+    def test_resnapshot_is_byte_identical(self):
+        arena = Arena()
+        for type_ in sample_types():
+            arena.add(type_)
+        buffer = arena.snapshot()
+        assert Arena.restore(buffer).snapshot() == buffer
+
+    def test_capacity_survives_restore(self):
+        arena = Arena(capacity=64)
+        arena.add(TCon("Int"))
+        assert Arena.restore(arena.snapshot()).capacity == 64
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            Arena.restore(b"NOTANARENA" + b"\x00" * 64)
+
+    def test_snapshot_environment_covers_bindings(self):
+        env = Environment(
+            {
+                "id": forall(["a"], fun(TVar("a"), TVar("a"))),
+                "one": TCon("Int"),
+            }
+        )
+        table = ArenaInternTable.restore(snapshot_environment(env))
+        before = len(table)
+        table.intern(forall(["a"], fun(TVar("a"), TVar("a"))))
+        assert len(table) == before, "prelude types arrive pre-interned"
+
+
+class TestInternCounters:
+    """Satellite: capacity-full interning is observable, never silent."""
+
+    def test_base_table_counts_hits_misses_and_full(self):
+        table = InternTable(capacity=2)
+        first = table.intern(TCon("Int"))
+        table.intern(TCon("Bool"))
+        assert table.misses == 2
+        assert table.intern(TCon("Int")) is first
+        assert table.hits == 1
+        overflow = fun(TCon("Int"), TCon("Bool"))
+        result = table.intern(overflow)
+        assert result is overflow, "full table returns its argument"
+        assert table.full_events == 1
+        assert table.stats() == {
+            "size": 2,
+            "hits": 1,
+            "misses": 2,
+            "full_events": 1,
+        }
+
+    def test_full_event_reaches_the_tracer(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        table = InternTable(capacity=1)
+        table.attach_tracer(tracer)
+        table.intern(TCon("Int"))
+        table.intern(TCon("Bool"))
+        assert table.full_events == 1
+        assert tracer.metrics.counters.get("types.intern.full") == 1
+
+    def test_arena_table_preserves_the_memory_bound(self):
+        table = ArenaInternTable(capacity=3)
+        table.intern(fun(TCon("Int"), TCon("Bool")))  # 3 nodes: Int, Bool, ->
+        big = fun(TCon("Char"), TCon("Float"))
+        result = table.intern(big)
+        assert result is big, "full arena degrades exactly like a full table"
+        assert table.full_events >= 1
+        assert len(table) == 3
+
+    def test_inference_stays_correct_after_capacity_reached(self):
+        # The regression the counter exists for: a tiny shared table fills
+        # immediately, interning degrades to pass-through, and inference
+        # must still produce the same types as with an unbounded table —
+        # with the degradation observable on the counters.
+        env = Environment(
+            {
+                "id": forall(["a"], fun(TVar("a"), TVar("a"))),
+                "one": TCon("Int"),
+            }
+        )
+        from repro.syntax.parser import parse_term
+
+        def outcome(inferencer, source):
+            try:
+                return str(inferencer.infer(parse_term(source)).type_)
+            except GIError as error:
+                return type(error).__name__
+
+        sources = ["id one", "id id", r"\x -> id x", "let f = id in f one"]
+        expected = [outcome(Inferencer(env), s) for s in sources]
+        tables = []
+        for capacity in (0, 1, 4):
+            table = InternTable(capacity=capacity)
+            tables.append(table)
+            inferencer = Inferencer(env, intern=table)
+            got = [outcome(inferencer, s) for s in sources]
+            assert got == expected, f"capacity={capacity} changed inference"
+        assert tables[0].full_events > 0, "a full table must report degradation"
+        assert all(len(t) <= t.capacity for t in tables), "bound must hold"
+        assert any(t.hits > 0 for t in tables), "interning must stay observable"
+
+
+class TestDeepPrenexInterning:
+    """Satellite: ``deep_prenex`` rebuilds must be re-interned so its
+    ``is``-based fixed point survives shared tables."""
+
+    NESTED = fun(TCon("Int"), forall(["a"], fun(TVar("a"), TVar("a"))))
+
+    def test_rebuild_is_interned(self):
+        table = InternTable()
+        first = deep_prenex(self.NESTED, intern=table)
+        second = deep_prenex(self.NESTED, intern=table)
+        assert first is second, "same table must yield the identical object"
+        assert deep_prenex(first, intern=table) is first, "fixed point by is"
+
+    def test_rebuild_is_interned_under_arena_table(self):
+        table = ArenaInternTable()
+        first = deep_prenex(self.NESTED, intern=table)
+        second = deep_prenex(self.NESTED, intern=table)
+        assert first is second
+        assert deep_prenex(first, intern=table) is first
+
+    def test_roundtrip_through_second_shared_table(self):
+        # The serve multi-session case: a type prenexed against one
+        # session's view of the shared table, then re-interned through a
+        # second fresh-but-shared table, must still satisfy object
+        # identity = structural identity inside each table.
+        nested = Forall(
+            ("b",),
+            fun(TVar("b"), forall(["a"], fun(TVar("a"), TVar("b")))),
+            (Pred("Eq", (TVar("b"),)),),
+        )
+        first_table = InternTable()
+        hoisted = deep_prenex(nested, intern=first_table)
+        assert first_table.intern(hoisted) is hoisted
+        second_table = ArenaInternTable()
+        via_second = second_table.intern(hoisted)
+        assert via_second == hoisted
+        assert deep_prenex(via_second, intern=second_table) is via_second
+        # And hoisting the original against the second table canonicalises
+        # to the same node the round-tripped object occupies.
+        assert deep_prenex(nested, intern=second_table) is via_second
+
+    def test_solver_threads_its_table_through_deep_policies(self):
+        from repro.core.policy import EAGER_DEEP
+        from repro.syntax.parser import parse_term
+
+        env = Environment(
+            {
+                "mk": fun(
+                    TCon("Int"),
+                    fun(TCon("Int"), forall(["a"], fun(TVar("a"), TVar("a")))),
+                ),
+                "one": TCon("Int"),
+            }
+        )
+        options = InferOptions(policy=EAGER_DEEP)
+        for arena in (True, False):
+            inferencer = Inferencer(
+                env, options=InferOptions(policy=EAGER_DEEP, arena=arena)
+            )
+            result = inferencer.infer(parse_term("mk one"))
+            assert str(result.type_) == "forall a. Int -> a -> a"
+        assert options.policy.deep
+
+
+def unifier_scenario(make):
+    """A battery of store operations; returns every observable."""
+    unifier = make(NameSupply("v"))
+    a, b = UVar("a", Sort.U, 0), UVar("b", Sort.U, 0)
+    c, m = UVar("c", Sort.T, 1), UVar("m", Sort.M, 0)
+    out = []
+    unifier.unify(a, c)
+    out += [str(unifier.zonk(a)), str(unifier.zonk(c))]
+    unifier.unify(b, fun(TCon("Int"), a))
+    out.append(str(unifier.zonk(b)))
+    d, e = UVar("d", Sort.U, 0), UVar("e", Sort.U, 2)
+    unifier.unify(m, TCon("Pair", (d, e)))
+    out += [str(unifier.zonk(m)), str(unifier.zonk(d)), str(unifier.zonk(e))]
+    outer, deep = UVar("o", Sort.U, 0), UVar("dd", Sort.U, 3)
+    unifier.unify(outer, fun(deep, TCon("Int")))
+    out += [str(unifier.zonk(outer)), str(unifier.zonk(deep))]
+    s1 = forall(["x"], fun(TVar("x"), TVar("x")))
+    s2 = forall(["y"], fun(TVar("y"), TVar("y")))
+    f = UVar("f", Sort.U, 0)
+    unifier.unify(fun(s1, f), fun(s2, TCon("Bool")))
+    out.append(str(unifier.zonk(f)))
+    try:
+        unifier.unify(a, TCon("List", (a,)))
+    except GIError as error:
+        out.append(type(error).__name__)
+    try:
+        unifier.unify(TCon("Int"), TCon("Bool"))
+    except GIError as error:
+        out.append(type(error).__name__)
+    g, h = UVar("g", Sort.U, 0), UVar("h", Sort.U, 0)
+    unifier.assign(g, h)
+    unifier.assign(h, TCon("Char"))
+    out.append(str(unifier.zonk(g)))
+    out.append(f"bindings={unifier.bindings}")
+    out.append(f"subst={len(unifier.subst)}")
+    out.append(f"next={unifier.supply.fresh()}")
+    out.append(f"skolems={sorted(unifier.skolem_levels)}")
+    return out
+
+
+class TestArenaUnifierParity:
+    def test_scenario_battery_matches_fallback(self):
+        base = unifier_scenario(Unifier)
+        arena = unifier_scenario(ArenaUnifier)
+        assert base == arena
+
+    def test_subst_view_protocol(self):
+        unifier = ArenaUnifier(NameSupply("v"))
+        a, b = UVar("a"), UVar("b")
+        assert not unifier.subst and len(unifier.subst) == 0
+        assert a not in unifier.subst
+        unifier.assign(a, b)
+        unifier.assign(b, TCon("Int"))
+        assert a in unifier.subst and b in unifier.subst
+        assert unifier.subst.get(a) == b
+        assert unifier.subst[b] == TCon("Int")
+        assert len(unifier.subst) == 2
+        listed = dict(unifier.subst.items())
+        assert listed[a] == b and listed[b] == TCon("Int")
+
+    def test_zonk_identity_contract(self):
+        # ``deep_prenex`` and friends detect fixed points by identity, so
+        # a clean type must come back as the same object.
+        unifier = ArenaUnifier(NameSupply("v"))
+        clean = fun(TCon("Int"), TCon("Bool"))
+        assert unifier.zonk(clean) is clean
+        assert unifier.zonk_head(clean) is clean
+        sigma = forall(["a"], fun(TVar("a"), TVar("a")))
+        assert unifier.zonk(sigma) is sigma
+
+    def test_on_bind_fires_with_structural_keys(self):
+        # The solver's wake-queue is keyed by UVar structurally; arena
+        # notifications must hit the same keys.
+        fired = []
+        unifier = ArenaUnifier(NameSupply("v"))
+        unifier.on_bind = fired.append
+        a, b = UVar("a"), UVar("b")
+        unifier.unify(a, b)
+        unifier.unify(b, TCon("Int"))
+        assert fired, "bindings must notify"
+        assert all(isinstance(v, UVar) for v in fired)
+        assert {v.name for v in fired} <= {"a", "b"}
+
+    def test_id_level_chain(self):
+        unifier = ArenaUnifier(NameSupply("v"))
+        ids = [unifier.fresh_id(Sort.U, 0) for _ in range(50)]
+        for left, right in zip(ids, ids[1:]):
+            unifier.assign_id(left, right)
+        unifier.assign_id(ids[-1], unifier._arena.tcon("Int"))
+        zonked = unifier.zonk_id(ids[0])
+        assert unifier._arena.view(zonked) == TCon("Int")
+        # Object-level view of the same store agrees.
+        assert str(unifier.zonk(unifier._arena.view(ids[0]))) == "Int"
+        assert len(unifier.subst) == 50
+
+    def test_zonk_ids_batch_matches_per_id(self):
+        unifier = ArenaUnifier(NameSupply("v"))
+        arena = unifier._arena
+        ids = [unifier.fresh_id(Sort.U, 0) for _ in range(8)]
+        for left, right in zip(ids, ids[1:]):
+            unifier.assign_id(left, right)
+        unifier.assign_id(ids[-1], arena.tcon("Int"))
+        loose = unifier.fresh_id(Sort.U, 0)
+        pair = arena.tcon("Pair", (ids[0], loose))
+        batch = unifier.zonk_ids(ids + [loose, pair])
+        singles = [unifier.zonk_id(i) for i in ids + [loose, pair]]
+        assert batch == singles
+        assert arena.view(batch[-1]) == TCon("Pair", (TCon("Int"), arena.view(loose)))
+
+    def test_id_level_composite_zonk(self):
+        unifier = ArenaUnifier(NameSupply("v"))
+        arena = unifier._arena
+        u = unifier.fresh_id(Sort.U, 0)
+        pair = arena.tcon("Pair", (u, arena.tcon("Int")))
+        unifier.assign_id(u, arena.tcon("Bool"))
+        zonked = unifier.zonk_id(pair)
+        assert arena.view(zonked) == TCon("Pair", (TCon("Bool"), TCon("Int")))
+        # Unbound parts keep their node id (no spurious rebuild).
+        v = unifier.fresh_id(Sort.U, 0)
+        alone = arena.tcon("List", (v,))
+        assert unifier.zonk_id(alone) == alone
+
+
+class TestArenaSwitch:
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARENA", raising=False)
+        assert arena_enabled(None) is True
+        assert arena_enabled(False) is False
+        assert arena_enabled(True) is True
+        monkeypatch.setenv("REPRO_ARENA", "0")
+        assert arena_enabled(None) is False
+        assert arena_enabled(True) is True
+        monkeypatch.setenv("REPRO_ARENA", "off")
+        assert arena_enabled(None) is False
+
+    def test_make_unifier_honours_the_switch(self):
+        assert isinstance(make_unifier(arena=True), ArenaUnifier)
+        fallback = make_unifier(arena=False)
+        assert type(fallback) is Unifier
+
+    def test_figure2_prefix_identical_across_modes(self):
+        from repro.evalsuite.figure2 import FIGURE2, figure2_env
+
+        env = figure2_env()
+
+        def sweep(arena):
+            results = []
+            inferencer = Inferencer(env, options=InferOptions(arena=arena))
+            for example in FIGURE2[:12]:
+                try:
+                    results.append(str(inferencer.infer(example.term).type_))
+                except GIError as error:
+                    results.append(type(error).__name__)
+            return results
+
+        assert sweep(True) == sweep(False)

@@ -476,3 +476,68 @@ class TestLifecycle:
             handle.stop()
             handle.stop()
             assert not handle.thread.is_alive()
+
+
+class TestRetryHintSeams:
+    """The latency-window seams of ``_retry_after_ms`` and ``stats``."""
+
+    def test_retry_hint_sane_with_empty_latency_window(self, tmp_path):
+        # Direct unit check first: no completed request has ever fed
+        # ``_recent_ms``, so the estimate must fall back to the default
+        # service time — never a ZeroDivisionError, never a 0ms hint
+        # (which would tell clients to hammer the server in a tight loop).
+        with serve(tmp_path, jobs=1, queue_limit=1) as (handle, sock):
+            assert len(handle.server._recent_ms) == 0
+            hint = handle.server._retry_after_ms()
+            assert isinstance(hint, int) and 5 <= hint <= 5_000
+
+    def test_overload_on_first_requests_after_boot(self, tmp_path):
+        # End-to-end: overload the daemon before *any* request completes
+        # (the very-first-requests-after-boot race).  Shed responses must
+        # be typed Overloaded with a positive integer retry hint.
+        with serve(tmp_path, jobs=1, queue_limit=1) as (handle, sock):
+            with connect(sock) as client:
+                ids = [client.send("infer", expr=deep_expr(100)) for _ in range(12)]
+                replies = [client.wait_for(i) for i in ids]
+            shed = [r for r in replies if not r["ok"]]
+            assert shed, "queue_limit=1 must shed a 12-deep instant burst"
+            for reply in shed:
+                assert reply["error"]["class"] == "Overloaded"
+                assert reply["error"]["severity"] == "overloaded"
+                assert isinstance(reply["retry_after_ms"], int)
+                assert reply["retry_after_ms"] >= 5
+
+    def test_stats_mid_drain_is_answered(self, tmp_path):
+        # ``stats`` is an observability op: it must keep answering while
+        # the server drains (it is handled before the draining check),
+        # with a well-typed payload reporting draining=True.
+        with serve(tmp_path, jobs=1, drain_grace_s=2.0) as (handle, sock):
+            with connect(sock) as client:
+                busy = client.send("infer", expr=deep_expr(120))
+                client.send("shutdown")
+                stats_id = client.send("stats")
+                seen = {}
+                for _ in range(3):
+                    reply = client._read_message()
+                    seen[reply.get("id")] = reply
+            stats = seen[stats_id]
+            assert stats["ok"], "stats mid-drain must not be shed"
+            assert stats["draining"] is True
+            assert isinstance(stats["queue"]["pending"], int)
+            assert seen[busy]["ok"]
+            handle.thread.join(timeout=10)
+            assert not handle.thread.is_alive()
+
+    def test_stats_surfaces_intern_counters(self, tmp_path):
+        # Satellite: the shared InternTable's hit/miss/full counters are
+        # observable through the stats op, so capacity-full degradation
+        # of a long-lived daemon is visible instead of silent.
+        with serve(tmp_path) as (handle, sock):
+            with connect(sock) as client:
+                assert client.request("infer", expr="head ids")["ok"]
+                stats = client.request("stats")
+            intern = stats["intern"]
+            assert intern["size"] == stats["intern_size"]
+            assert set(intern) == {"size", "hits", "misses", "full_events"}
+            assert intern["full_events"] == 0
+            assert intern["misses"] >= 0 and intern["hits"] >= 0
